@@ -1,0 +1,115 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Prove vs fast bug hunting** (§IV-D) — time to find a seeded bug
+//!    with and without the coverage query families.
+//! 2. **Concretization (+C.)** (§V) — the parameterized transpose at
+//!    growing bit widths, with and without pinned matrix sizes.
+//! 3. **Encoding growth** — non-parameterized encoding size (CNF vars and
+//!    clauses) as a function of n, the quantitative form of the paper's
+//!    "explodes in complexity when confronted with a growing number of
+//!    threads".
+
+use pugpara::equiv::{check_equivalence_nonparam, check_equivalence_param, CheckOptions};
+use pugpara::KernelUnit;
+use pug_ir::GpuConfig;
+use std::time::Duration;
+
+fn timeout() -> Duration {
+    std::env::var("PUG_BENCH_TIMEOUT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(20))
+}
+
+fn main() {
+    ablation_modes();
+    ablation_concretization();
+    ablation_encoding_growth();
+}
+
+fn ablation_modes() {
+    println!("== Ablation 1: Prove vs FastBugHunt (seeded transpose address bug, 8b) ==");
+    let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+    let buggy = KernelUnit::load(pug_kernels::transpose::BUGGY_ADDR).unwrap();
+    let cfg = GpuConfig::symbolic_2d(8);
+    for (label, opts) in [
+        ("prove mode   ", CheckOptions::with_timeout(timeout())),
+        ("fast bug hunt", CheckOptions::with_timeout(timeout()).fast_bug_hunt()),
+    ] {
+        match check_equivalence_param(&naive, &buggy, &cfg, &opts) {
+            Ok(r) => println!(
+                "  {label}: {:>8.3}s solver time, {} queries, verdict: {}",
+                r.solver_time().as_secs_f64(),
+                r.queries.len(),
+                r.verdict
+            ),
+            Err(e) => println!("  {label}: error {e}"),
+        }
+    }
+    println!();
+}
+
+fn ablation_concretization() {
+    println!("== Ablation 2: concretization (+C.) on the parameterized transpose ==");
+    let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+    let opt = KernelUnit::load(pug_kernels::transpose::OPTIMIZED).unwrap();
+    for bits in [8u32, 12, 16] {
+        let cfg = GpuConfig::symbolic_2d(bits);
+        for (label, opts) in [
+            ("-C.", CheckOptions::with_timeout(timeout())),
+            (
+                "+C.",
+                CheckOptions::with_timeout(timeout())
+                    .concretized("width", 8)
+                    .concretized("height", 8),
+            ),
+        ] {
+            match check_equivalence_param(&naive, &opt, &cfg, &opts) {
+                Ok(r) => println!(
+                    "  {bits:>2}b {label}: {:>8.3}s, verdict: {}",
+                    r.solver_time().as_secs_f64(),
+                    r.verdict
+                ),
+                Err(e) => println!("  {bits:>2}b {label}: error {e}"),
+            }
+        }
+    }
+    println!();
+}
+
+fn ablation_encoding_growth() {
+    println!("== Ablation 3: non-parameterized encoding growth with n (transpose 8b) ==");
+    let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+    let opt = KernelUnit::load(pug_kernels::transpose::OPTIMIZED).unwrap();
+    for n in [4u64, 16] {
+        let (bx, by) = pug_bench::cells::transpose_block(n);
+        let cfg = GpuConfig::concrete_2d(8, bx, by);
+        let opts = CheckOptions::with_timeout(timeout())
+            .concretized("width", bx)
+            .concretized("height", by);
+        match check_equivalence_nonparam(&naive, &opt, &cfg, &opts) {
+            Ok(r) => {
+                let q = r.queries.first();
+                let (vars, clauses) = q.map(|q| (q.stats.cnf_vars, q.stats.cnf_clauses)).unwrap_or((0, 0));
+                println!(
+                    "  n={n:>3}: {:>8.3}s, CNF {vars} vars / {clauses} clauses, verdict: {}",
+                    r.solver_time().as_secs_f64(),
+                    r.verdict
+                );
+            }
+            Err(e) => println!("  n={n:>3}: error {e}"),
+        }
+    }
+    println!("  (parameterized, for comparison)");
+    let cfg = GpuConfig::symbolic_2d(8);
+    if let Ok(r) = check_equivalence_param(&naive, &opt, &cfg, &CheckOptions::with_timeout(timeout())) {
+        let q = r.queries.first();
+        let (vars, clauses) = q.map(|q| (q.stats.cnf_vars, q.stats.cnf_clauses)).unwrap_or((0, 0));
+        println!(
+            "  param: {:>8.3}s, first-query CNF {vars} vars / {clauses} clauses, verdict: {}",
+            r.solver_time().as_secs_f64(),
+            r.verdict
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! `cargo bench` entry for Table II (bug-free equivalence).
+//!
+//! Runs the quick grid with a short per-cell budget so a full
+//! `cargo bench --workspace` stays tractable on small machines; use the
+//! `repro-tables` binary for the full grid with the paper's longer budget.
+//! Override the budget with `PUG_BENCH_TIMEOUT` (seconds).
+
+use pug_bench::{render_rows, table2_rows};
+use std::time::Duration;
+
+fn main() {
+    let timeout = std::env::var("PUG_BENCH_TIMEOUT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(15));
+    let rows = table2_rows(timeout, true);
+    println!(
+        "{}",
+        render_rows(
+            &format!(
+                "Table II (quick grid, {}s budget) — bug-free equivalence",
+                timeout.as_secs()
+            ),
+            &rows
+        )
+    );
+}

@@ -1,0 +1,23 @@
+//! `cargo bench` entry for Table III (buggy-version equivalence).
+//!
+//! Quick grid with a short per-cell budget; the `repro-tables` binary runs
+//! the full grid. Override the budget with `PUG_BENCH_TIMEOUT` (seconds).
+
+use pug_bench::{render_rows, table3_rows};
+use std::time::Duration;
+
+fn main() {
+    let timeout = std::env::var("PUG_BENCH_TIMEOUT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(15));
+    let rows = table3_rows(timeout, true);
+    println!(
+        "{}",
+        render_rows(
+            &format!("Table III (quick grid, {}s budget) — buggy versions", timeout.as_secs()),
+            &rows
+        )
+    );
+}

@@ -1,0 +1,183 @@
+//! Machine-readable rendition of the paper's **Table I** — the comparison
+//! of formal verifiers for GPU programs — plus a self-check tying each
+//! capability PUGpara advertises to a working entry point in this crate.
+
+/// Analysis methodology (Table I row "Methodology").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Methodology {
+    SymbolicAnalysis,
+    ConcolicExecution,
+    DynamicChecking,
+}
+
+/// Program representation analysed (Table I row "Level of Analysis").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnalysisLevel {
+    SourceCode,
+    LlvmBytecode,
+    SourceInstrumentation,
+}
+
+/// Input treatment (Table I row "Program Inputs").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InputKind {
+    FullySymbolic,
+    SymbolicPlusConcrete,
+    ConcreteOnly,
+}
+
+/// Bug classes a tool targets (Table I row "Bugs Targeted").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Capability {
+    DataRaces,
+    FunctionalCorrectness,
+    EquivalenceChecking,
+    BankConflicts,
+    NonCoalescedAccesses,
+    Deadlocks,
+}
+
+/// One tool profile (a Table I column).
+#[derive(Clone, Debug)]
+pub struct ToolProfile {
+    pub name: &'static str,
+    pub methodology: Methodology,
+    pub level: AnalysisLevel,
+    pub inputs: InputKind,
+    pub capabilities: &'static [Capability],
+    pub parameterized: &'static [Capability],
+}
+
+/// The three columns of Table I.
+pub fn table1() -> [ToolProfile; 3] {
+    use Capability::*;
+    [
+        ToolProfile {
+            name: "PUGpara (this implementation)",
+            methodology: Methodology::SymbolicAnalysis,
+            level: AnalysisLevel::SourceCode,
+            inputs: InputKind::FullySymbolic,
+            capabilities: &[
+                DataRaces,
+                FunctionalCorrectness,
+                EquivalenceChecking,
+                BankConflicts,
+                NonCoalescedAccesses,
+            ],
+            // "Yes (for both Race and Equiv. Check)"
+            parameterized: &[
+                DataRaces,
+                EquivalenceChecking,
+                FunctionalCorrectness,
+                BankConflicts,
+                NonCoalescedAccesses,
+            ],
+        },
+        ToolProfile {
+            name: "GKLEE",
+            methodology: Methodology::ConcolicExecution,
+            level: AnalysisLevel::LlvmBytecode,
+            inputs: InputKind::SymbolicPlusConcrete,
+            capabilities: &[
+                DataRaces,
+                FunctionalCorrectness,
+                BankConflicts,
+                NonCoalescedAccesses,
+                Deadlocks,
+            ],
+            parameterized: &[],
+        },
+        ToolProfile {
+            name: "GRace",
+            methodology: Methodology::DynamicChecking,
+            level: AnalysisLevel::SourceInstrumentation,
+            inputs: InputKind::ConcreteOnly,
+            capabilities: &[DataRaces, BankConflicts],
+            parameterized: &[],
+        },
+    ]
+}
+
+/// Render Table I as fixed-width text (used by `examples/capability_matrix`).
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:<22} {:<24} {:<22} {}\n",
+        "Tool", "Methodology", "Level", "Inputs", "Parameterized?"
+    ));
+    out.push_str(&"-".repeat(120));
+    out.push('\n');
+    for t in table1() {
+        out.push_str(&format!(
+            "{:<34} {:<22} {:<24} {:<22} {}\n",
+            t.name,
+            format!("{:?}", t.methodology),
+            format!("{:?}", t.level),
+            format!("{:?}", t.inputs),
+            if t.parameterized.is_empty() {
+                "No".to_string()
+            } else {
+                format!("Yes ({} classes)", t.parameterized.len())
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::{check_equivalence_param, CheckOptions};
+    use crate::KernelUnit;
+    use pug_ir::GpuConfig;
+
+    #[test]
+    fn table_shape_matches_paper() {
+        let t = table1();
+        assert_eq!(t[0].methodology, Methodology::SymbolicAnalysis);
+        assert_eq!(t[1].methodology, Methodology::ConcolicExecution);
+        assert_eq!(t[2].methodology, Methodology::DynamicChecking);
+        assert_eq!(t[0].inputs, InputKind::FullySymbolic);
+        assert!(t[0].parameterized.contains(&Capability::DataRaces));
+        assert!(t[0].parameterized.contains(&Capability::EquivalenceChecking));
+        assert!(t[1].parameterized.is_empty());
+        assert!(t[2].parameterized.is_empty());
+    }
+
+    /// Every capability PUGpara advertises has a working entry point.
+    #[test]
+    fn advertised_capabilities_have_entry_points() {
+        let unit = KernelUnit::load(pug_kernels::vector_add::KERNEL).unwrap();
+        let cfg = GpuConfig::symbolic_1d(8);
+        let opts = CheckOptions::default();
+        for cap in table1()[0].capabilities {
+            match cap {
+                Capability::DataRaces => {
+                    crate::race::check_races(&unit, &cfg, &opts).unwrap();
+                }
+                Capability::FunctionalCorrectness => {
+                    let u = KernelUnit::load(pug_kernels::vector_add::WITH_POSTCOND).unwrap();
+                    crate::postcond::check_postcondition_param(&u, &cfg, &opts).unwrap();
+                }
+                Capability::EquivalenceChecking => {
+                    check_equivalence_param(&unit, &unit, &cfg, &opts).unwrap();
+                }
+                Capability::BankConflicts => {
+                    crate::perf::check_bank_conflicts(&unit, &cfg, &opts).unwrap();
+                }
+                Capability::NonCoalescedAccesses => {
+                    crate::perf::check_coalescing(&unit, &cfg, &opts).unwrap();
+                }
+                Capability::Deadlocks => unreachable!("not advertised"),
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_is_complete() {
+        let s = render_table1();
+        assert!(s.contains("PUGpara"));
+        assert!(s.contains("GKLEE"));
+        assert!(s.contains("GRace"));
+    }
+}

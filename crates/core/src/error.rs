@@ -1,0 +1,45 @@
+//! Top-level verifier errors.
+
+use std::fmt;
+
+/// Errors surfaced by the verifier API (distinct from *verdicts*: a bug
+/// found in a kernel is a verdict, not an error).
+#[derive(Debug)]
+pub enum Error {
+    /// Lexing/parsing/type-checking failed.
+    Frontend(pug_cuda::FrontendError),
+    /// Lowering or symbolic execution failed (unsupported construct,
+    /// symbolic loop bound without alignment, barrier divergence, …).
+    Ir(pug_ir::IrError),
+    /// The two kernels cannot be aligned for parameterized comparison and
+    /// no fallback applies.
+    AlignmentFailed { detail: String },
+    /// Check configuration problem (e.g. non-param encoding without a
+    /// concrete thread count).
+    BadConfig { detail: String },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Frontend(e) => write!(f, "{e}"),
+            Error::Ir(e) => write!(f, "{e}"),
+            Error::AlignmentFailed { detail } => write!(f, "loop alignment failed: {detail}"),
+            Error::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<pug_cuda::FrontendError> for Error {
+    fn from(e: pug_cuda::FrontendError) -> Error {
+        Error::Frontend(e)
+    }
+}
+
+impl From<pug_ir::IrError> for Error {
+    fn from(e: pug_ir::IrError) -> Error {
+        Error::Ir(e)
+    }
+}

@@ -1,0 +1,215 @@
+//! Parameterized race checking.
+//!
+//! The paper notes that PUG's race-checking techniques "easily accommodate
+//! the use of symbolic thread identifiers" (§II-A): within one barrier
+//! interval, instantiate the access set at two *distinct* symbolic threads
+//! and ask the solver for an address collision where at least one access is
+//! a write. A `Sat` answer is a real race with a concrete witness
+//! (configuration, thread ids); `Unsat` over all pairs is a parameterized
+//! race-freedom proof — the very assumption the equivalence encodings rest
+//! on (§III "we assume that no data races occur").
+
+use crate::equiv::{CheckOptions, Report, Session};
+use crate::error::Error;
+use crate::kernel::KernelUnit;
+use crate::param::{extract_region, thread_range, ExtractOptions, ParamRegion};
+use crate::resolve::ThreadRef;
+use crate::verdict::{BugKind, BugReport, Verdict};
+use pug_cuda::typecheck::VarInfo;
+use pug_ir::{split_bis, BoundConfig, GpuConfig, Segment};
+use pug_smt::{Sort, SmtResult, TermId};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Check a kernel for intra-barrier-interval data races, parametrically.
+pub fn check_races(
+    unit: &KernelUnit,
+    cfg: &GpuConfig,
+    opts: &CheckOptions,
+) -> Result<Report, Error> {
+    let started = Instant::now();
+    let mut sess = Session::new(cfg, opts);
+    let bound = cfg.bind(&mut sess.ctx, "");
+
+    let segments = pug_ir::split_segments(&unit.kernel.body)?;
+    let mut assumptions: Vec<TermId> = bound.constraints.clone();
+
+    for (i, seg) in segments.iter().enumerate() {
+        let (region, extra) = match seg {
+            Segment::Straight(stmts) => {
+                let bis = split_bis(stmts)?;
+                let conc = sess.conc_map();
+                let region = extract_region(
+                    &mut sess.ctx,
+                    unit,
+                    &bound,
+                    &bis,
+                    ExtractOptions {
+                        tag: &format!("r{i}"),
+                        entry_versions: HashMap::new(),
+                        extra_locals: vec![],
+                        region: format!("seg{i}"),
+                        concretize: conc,
+                    },
+                )?;
+                (region, Vec::new())
+            }
+            Segment::Loop { init, cond, update, body, .. } => {
+                // One symbolic iteration with the header's membership
+                // constraint (races across iterations are separated by the
+                // in-loop barrier).
+                let header =
+                    pug_ir::normalize_header(init, cond, update).ok_or_else(|| {
+                        Error::AlignmentFailed {
+                            detail: "race checking needs a recognizable loop header".into(),
+                        }
+                    })?;
+                let w = bound.bits;
+                let kvar = sess.ctx.mk_var(&format!("k!race{i}"), Sort::BitVec(w));
+                let membership =
+                    crate::equiv::space_constraint_pub(&mut sess, &bound, &header.space, kvar)?;
+                let bis = split_bis(body)?;
+                let conc = sess.conc_map();
+                let region = extract_region(
+                    &mut sess.ctx,
+                    unit,
+                    &bound,
+                    &bis,
+                    ExtractOptions {
+                        tag: &format!("r{i}"),
+                        entry_versions: HashMap::new(),
+                        extra_locals: vec![(header.var.clone(), kvar, false)],
+                        region: format!("seg{i}"),
+                        concretize: conc,
+                    },
+                )?;
+                (region, vec![membership])
+            }
+        };
+        assumptions.extend(region.outputs.assumptions.iter().copied());
+
+        if let Some(v) = race_in_region(&mut sess, &bound, unit, &region, &assumptions, &extra, i)? {
+            return Ok(sess.into_report(v, started));
+        }
+    }
+    let soundness = sess.soundness;
+    Ok(sess.into_report(Verdict::Verified(soundness), started))
+}
+
+fn race_in_region(
+    sess: &mut Session,
+    bound: &BoundConfig,
+    unit: &KernelUnit,
+    region: &ParamRegion,
+    assumptions: &[TermId],
+    extra: &[TermId],
+    seg_ix: usize,
+) -> Result<Option<Verdict>, Error> {
+    // Two distinct symbolic threads.
+    let w = bound.bits;
+    let mk = |sess: &mut Session, n: &str| {
+        let t = sess.ctx.mk_var(&format!("{n}!race{seg_ix}"), Sort::BitVec(w));
+        t
+    };
+    let t1 = ThreadRef {
+        tid: [mk(sess, "t1.x"), mk(sess, "t1.y"), mk(sess, "t1.z")],
+        bid: [mk(sess, "t1.bx"), mk(sess, "t1.by")],
+    };
+    let t2 = ThreadRef {
+        tid: [mk(sess, "t2.x"), mk(sess, "t2.y"), mk(sess, "t2.z")],
+        bid: [mk(sess, "t2.bx"), mk(sess, "t2.by")],
+    };
+    let r1 = thread_range(&mut sess.ctx, bound, t1.tid, t1.bid);
+    let r2 = thread_range(&mut sess.ctx, bound, t2.tid, t2.bid);
+
+    let subst = |sess: &mut Session, t: TermId, to: ThreadRef| -> TermId {
+        let c = region.thread;
+        let mut map = HashMap::new();
+        for i in 0..3 {
+            map.insert(c.tid[i], to.tid[i]);
+        }
+        for i in 0..2 {
+            map.insert(c.bid[i], to.bid[i]);
+        }
+        sess.ctx.substitute(t, &map)
+    };
+
+    // Distinctness: some tid component differs (same-block case), or any
+    // coordinate differs (cross-block, global arrays only).
+    let tids_differ = {
+        let mut d = sess.ctx.mk_false();
+        for i in 0..3 {
+            let ne = sess.ctx.mk_neq(t1.tid[i], t2.tid[i]);
+            d = sess.ctx.mk_or(d, ne);
+        }
+        d
+    };
+    let same_block = {
+        let bx = sess.ctx.mk_eq(t1.bid[0], t2.bid[0]);
+        let by = sess.ctx.mk_eq(t1.bid[1], t2.bid[1]);
+        sess.ctx.mk_and(bx, by)
+    };
+    let coords_differ = {
+        let mut d = tids_differ;
+        for i in 0..2 {
+            let ne = sess.ctx.mk_neq(t1.bid[i], t2.bid[i]);
+            d = sess.ctx.mk_or(d, ne);
+        }
+        d
+    };
+
+    let accesses = &region.log;
+    for (ai, a) in accesses.iter().enumerate() {
+        for b in accesses.iter().skip(ai) {
+            if a.array != b.array || (!a.is_write && !b.is_write) {
+                continue;
+            }
+            let shared = matches!(
+                unit.types.vars.get(&a.array),
+                Some(VarInfo::SharedArray { .. })
+            );
+            let addr1 = subst(sess, a.index, t1);
+            let g1 = subst(sess, a.guard, t1);
+            let addr2 = subst(sess, b.index, t2);
+            let g2 = subst(sess, b.guard, t2);
+
+            let mut asserts = assumptions.to_vec();
+            asserts.extend(extra.iter().copied());
+            asserts.push(r1);
+            asserts.push(r2);
+            if shared {
+                asserts.push(same_block);
+                asserts.push(tids_differ);
+            } else {
+                asserts.push(coords_differ);
+            }
+            asserts.push(g1);
+            asserts.push(g2);
+            let collide = sess.ctx.mk_eq(addr1, addr2);
+            asserts.push(collide);
+
+            // Satisfiability query (not validity): negate `false` as goal.
+            let goal = sess.ctx.mk_false();
+            match sess.query(&format!("race[{}#{seg_ix}]", a.array), &asserts, goal) {
+                SmtResult::Unsat => {}
+                SmtResult::Unknown => return Ok(Some(Verdict::Timeout)),
+                SmtResult::Sat(model) => {
+                    let kind = match (a.is_write, b.is_write) {
+                        (true, true) => "write-write",
+                        _ => "read-write",
+                    };
+                    return Ok(Some(Verdict::Bug(BugReport::new(
+                        BugKind::DataRace,
+                        format!(
+                            "{kind} race on `{}` within a barrier interval (segment {seg_ix})",
+                            a.array
+                        ),
+                        model,
+                        &sess.ctx,
+                    ))));
+                }
+            }
+        }
+    }
+    Ok(None)
+}

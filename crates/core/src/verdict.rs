@@ -1,0 +1,127 @@
+//! Verification verdicts and bug reports.
+
+use pug_smt::{Ctx, Model};
+use std::fmt;
+
+/// How trustworthy a "no bug found" answer is (paper §IV-A, "Formal
+/// Status"): dropping unsolved quantified formulas under-approximates the
+/// proof — reported bugs are always real, but a clean run may miss bugs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Soundness {
+    /// Every proof obligation was discharged, including the coverage
+    /// obligations (no quantified residue was dropped).
+    Sound,
+    /// The quantified "no thread wrote this address" residue was dropped or
+    /// only witness-checked: bugs reported are real; absence is not proof.
+    UnderApprox,
+}
+
+/// Classification of a found bug.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BugKind {
+    /// Outputs of the two kernels differ for some input/configuration.
+    EquivalenceMismatch,
+    /// A post-condition or assertion is violated.
+    AssertionViolation,
+    /// A read observes a cell no thread wrote — a hidden assumption on the
+    /// configuration is violated (e.g. non-square block in Transpose,
+    /// paper §IV-B), or the kernels cover different output cells.
+    CoverageMismatch,
+    /// Two threads conflict on a shared location (one is a write).
+    DataRace,
+    /// Shared-memory bank conflict (performance defect).
+    BankConflict,
+    /// Non-coalesced global memory access (performance defect).
+    NonCoalesced,
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BugKind::EquivalenceMismatch => "functional equivalence mismatch",
+            BugKind::AssertionViolation => "assertion/post-condition violation",
+            BugKind::CoverageMismatch => "write-coverage / hidden-assumption violation",
+            BugKind::DataRace => "data race",
+            BugKind::BankConflict => "shared-memory bank conflict",
+            BugKind::NonCoalesced => "non-coalesced global access",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete bug witness: the SMT model restricted to the relevant
+/// variables (thread ids, configuration, inputs).
+#[derive(Clone, Debug)]
+pub struct BugReport {
+    pub kind: BugKind,
+    /// Human-oriented description of where/how.
+    pub detail: String,
+    /// Counterexample model.
+    pub model: Model,
+    /// The model rendered with variable names (configuration, thread ids,
+    /// input values) — available without the originating term context.
+    pub witness: String,
+}
+
+impl BugReport {
+    /// Build a report, rendering the witness against `ctx`.
+    pub fn new(kind: BugKind, detail: String, model: Model, ctx: &Ctx) -> BugReport {
+        let witness = model.render(ctx);
+        BugReport { kind, detail, model, witness }
+    }
+
+    /// Render the full report for display.
+    pub fn render(&self) -> String {
+        format!("{}: {}\nwitness:\n{}", self.kind, self.detail, self.witness)
+    }
+}
+
+/// Outcome of a verification run.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// The property holds (equivalent / postcondition valid / race-free).
+    Verified(Soundness),
+    /// A bug was found (always real — the encoding under-approximates the
+    /// proof, never the bugs).
+    Bug(BugReport),
+    /// A resource budget was exhausted (the paper's "T.O").
+    Timeout,
+}
+
+impl Verdict {
+    /// True for [`Verdict::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Verdict::Verified(_))
+    }
+
+    /// True for [`Verdict::Bug`].
+    pub fn is_bug(&self) -> bool {
+        matches!(self, Verdict::Bug(_))
+    }
+
+    /// True for [`Verdict::Timeout`].
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, Verdict::Timeout)
+    }
+
+    /// The bug report, if any.
+    pub fn bug(&self) -> Option<&BugReport> {
+        match self {
+            Verdict::Bug(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Verified(Soundness::Sound) => write!(f, "verified (sound)"),
+            Verdict::Verified(Soundness::UnderApprox) => {
+                write!(f, "no bug found (under-approximate proof)")
+            }
+            Verdict::Bug(b) => write!(f, "bug: {} — {}", b.kind, b.detail),
+            Verdict::Timeout => write!(f, "timeout (T.O)"),
+        }
+    }
+}

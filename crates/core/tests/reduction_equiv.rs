@@ -1,0 +1,89 @@
+//! End-to-end equivalence on the reduction kernels — the paper's §IV-E
+//! loop-alignment pair (modulo → strided indexing) and its seeded bugs.
+
+use pugpara::equiv::{check_equivalence_nonparam, check_equivalence_param, CheckOptions};
+use pugpara::KernelUnit;
+use pug_ir::GpuConfig;
+use std::time::Duration;
+
+fn load(src: &str) -> KernelUnit {
+    KernelUnit::load(src).unwrap()
+}
+
+fn opts() -> CheckOptions {
+    CheckOptions::with_timeout(Duration::from_secs(180))
+}
+
+/// 1-D symbolic configuration (block height/depth pinned to 1 — the
+/// reduction kernels are 1-D; the block width stays symbolic).
+fn cfg_1d_symbolic(bits: u32) -> GpuConfig {
+    GpuConfig {
+        bits,
+        bdim: [pug_ir::Extent::Sym, pug_ir::Extent::Const(1), pug_ir::Extent::Const(1)],
+        gdim: [pug_ir::Extent::Sym, pug_ir::Extent::Const(1)],
+    }
+}
+
+#[test]
+fn param_reduction_v0_v1_equivalent_8bit() {
+    let v0 = load(pug_kernels::reduction::V0);
+    let v1 = load(pug_kernels::reduction::V1);
+    let report = check_equivalence_param(&v0, &v1, &cfg_1d_symbolic(8), &opts()).unwrap();
+    for q in &report.queries {
+        eprintln!("  {}: {} in {:?}", q.label, q.outcome, q.duration);
+    }
+    assert!(
+        report.verdict.is_verified(),
+        "reduction v0/v1 must verify via loop alignment, got {}",
+        report.verdict
+    );
+}
+
+#[test]
+fn param_reduction_buggy_index_found() {
+    let v0 = load(pug_kernels::reduction::V0);
+    let buggy = load(pug_kernels::reduction::BUGGY_INDEX);
+    // The +1 index bug shifts the write set to odd cells: the co-covered
+    // set is empty, so this is a pure *coverage* bug — fast bug hunting
+    // (which drops the quantified coverage formulas, §IV-D) cannot see it;
+    // prove mode reports the coverage mismatch.
+    let report = check_equivalence_param(&v0, &buggy, &cfg_1d_symbolic(8), &opts()).unwrap();
+    assert!(report.verdict.is_bug(), "index bug must be found, got {}", report.verdict);
+}
+
+#[test]
+fn param_reduction_buggy_guard_found() {
+    let v1 = load(pug_kernels::reduction::V1);
+    let buggy = load(pug_kernels::reduction::BUGGY_GUARD);
+    let report = check_equivalence_param(&v1, &buggy, &cfg_1d_symbolic(8), &opts()).unwrap();
+    assert!(report.verdict.is_bug(), "guard bug must be found, got {}", report.verdict);
+}
+
+#[test]
+fn nonparam_reduction_v0_v1_n4() {
+    let v0 = load(pug_kernels::reduction::V0);
+    let v1 = load(pug_kernels::reduction::V1);
+    let cfg = GpuConfig::concrete_1d(8, 4);
+    let report = check_equivalence_nonparam(&v0, &v1, &cfg, &opts()).unwrap();
+    assert!(report.verdict.is_verified(), "got {}", report.verdict);
+}
+
+#[test]
+fn nonparam_reduction_v0_v2_n4() {
+    // v2 (sequential addressing, descending) has a *different* reduction
+    // tree; only the fully unrolled concrete encoding can equate the sums.
+    let v0 = load(pug_kernels::reduction::V0);
+    let v2 = load(pug_kernels::reduction::V2);
+    let cfg = GpuConfig::concrete_1d(8, 4);
+    let report = check_equivalence_nonparam(&v0, &v2, &cfg, &opts()).unwrap();
+    assert!(report.verdict.is_verified(), "got {}", report.verdict);
+}
+
+#[test]
+fn nonparam_reduction_buggy_found_n4() {
+    let v1 = load(pug_kernels::reduction::V1);
+    let buggy = load(pug_kernels::reduction::BUGGY_INDEX);
+    let cfg = GpuConfig::concrete_1d(8, 4);
+    let report = check_equivalence_nonparam(&v1, &buggy, &cfg, &opts()).unwrap();
+    assert!(report.verdict.is_bug(), "got {}", report.verdict);
+}

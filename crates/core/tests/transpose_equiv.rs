@@ -1,0 +1,96 @@
+//! End-to-end parameterized equivalence on the paper's §II transpose pair.
+
+use pugpara::equiv::{check_equivalence_nonparam, check_equivalence_param, CheckOptions};
+use pugpara::{BugKind, KernelUnit, Verdict};
+use pug_ir::GpuConfig;
+use std::time::Duration;
+
+fn load(src: &str) -> KernelUnit {
+    KernelUnit::load(src).unwrap()
+}
+
+fn opts() -> CheckOptions {
+    CheckOptions::with_timeout(Duration::from_secs(120))
+}
+
+#[test]
+fn param_transpose_equivalent_8bit() {
+    let naive = load(pug_kernels::transpose::NAIVE);
+    let opt = load(pug_kernels::transpose::OPTIMIZED);
+    let cfg = GpuConfig::symbolic(8);
+    let report = check_equivalence_param(&naive, &opt, &cfg, &opts()).unwrap();
+    for q in &report.queries {
+        eprintln!("  {}: {} in {:?}", q.label, q.outcome, q.duration);
+    }
+    assert!(
+        report.verdict.is_verified(),
+        "transpose pair must verify, got {}",
+        report.verdict
+    );
+}
+
+#[test]
+fn param_transpose_buggy_addr_found() {
+    let naive = load(pug_kernels::transpose::NAIVE);
+    let buggy = load(pug_kernels::transpose::BUGGY_ADDR);
+    let cfg = GpuConfig::symbolic(8);
+    let report =
+        check_equivalence_param(&naive, &buggy, &cfg, &opts().fast_bug_hunt()).unwrap();
+    assert!(report.verdict.is_bug(), "address bug must be found, got {}", report.verdict);
+}
+
+#[test]
+fn param_transpose_nonsquare_block_detected() {
+    // Without requires(bdim.x == bdim.y) the hidden square-block assumption
+    // is violated — the paper's §IV-B discovery, the `*` rows of Table II.
+    let naive = load(pug_kernels::transpose::NAIVE);
+    let unconstrained = load(pug_kernels::transpose::OPTIMIZED_UNCONSTRAINED);
+    let cfg = GpuConfig::symbolic(8);
+    let report = check_equivalence_param(&naive, &unconstrained, &cfg, &opts()).unwrap();
+    match &report.verdict {
+        Verdict::Bug(b) => {
+            // Either the value query (corrupted tile) or the coverage query
+            // (unwitnessed read) may fire first; in both cases the witness
+            // configuration must have a non-square block.
+            assert!(
+                matches!(b.kind, BugKind::EquivalenceMismatch | BugKind::CoverageMismatch),
+                "unexpected bug kind {:?}",
+                b.kind
+            );
+            let get = |name: &str| -> u64 {
+                b.witness
+                    .lines()
+                    .find(|l| l.trim_start().starts_with(&format!("{name} =")))
+                    .and_then(|l| l.split('=').nth(1))
+                    .and_then(|v| v.trim().split(' ').next())
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{name} missing from witness:\n{}", b.witness))
+            };
+            assert_ne!(get("bdim.x"), get("bdim.y"), "witness block must be non-square");
+        }
+        other => panic!("expected the hidden-assumption bug, got {other}"),
+    }
+}
+
+#[test]
+fn nonparam_transpose_equivalent_small() {
+    let naive = load(pug_kernels::transpose::NAIVE);
+    let opt = load(pug_kernels::transpose::OPTIMIZED);
+    // 2×2 block (n = 4), one block.
+    let cfg = GpuConfig::concrete_2d(8, 2, 2);
+    let report = check_equivalence_nonparam(&naive, &opt, &cfg, &opts()).unwrap();
+    assert!(
+        report.verdict.is_verified(),
+        "non-param transpose at n=4 must verify, got {}",
+        report.verdict
+    );
+}
+
+#[test]
+fn nonparam_transpose_buggy_found() {
+    let naive = load(pug_kernels::transpose::NAIVE);
+    let buggy = load(pug_kernels::transpose::BUGGY_ADDR);
+    let cfg = GpuConfig::concrete_2d(8, 2, 2);
+    let report = check_equivalence_nonparam(&naive, &buggy, &cfg, &opts()).unwrap();
+    assert!(report.verdict.is_bug(), "got {}", report.verdict);
+}

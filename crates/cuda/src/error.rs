@@ -1,0 +1,47 @@
+//! Front-end diagnostics.
+
+use crate::token::Span;
+use std::fmt;
+
+/// Which phase produced the diagnostic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Type,
+}
+
+/// A front-end error with a source location.
+#[derive(Clone, Debug)]
+pub struct FrontendError {
+    pub phase: Phase,
+    pub span: Span,
+    pub message: String,
+}
+
+impl FrontendError {
+    pub fn lex(span: Span, message: impl Into<String>) -> FrontendError {
+        FrontendError { phase: Phase::Lex, span, message: message.into() }
+    }
+
+    pub fn parse(span: Span, message: impl Into<String>) -> FrontendError {
+        FrontendError { phase: Phase::Parse, span, message: message.into() }
+    }
+
+    pub fn ty(span: Span, message: impl Into<String>) -> FrontendError {
+        FrontendError { phase: Phase::Type, span, message: message.into() }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Type => "type",
+        };
+        write!(f, "{phase} error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}

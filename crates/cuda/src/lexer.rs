@@ -1,0 +1,390 @@
+//! Hand-written lexer for the CUDA C subset.
+
+use crate::error::FrontendError;
+use crate::token::{Span, Tok, Token};
+
+/// Tokenize `src`; `//`, `/* */` comments and `#`-preprocessor lines are
+/// skipped (the corpus kernels use `#define`-free sources).
+pub fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn span(&self) -> Span {
+        Span { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, FrontendError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, span });
+                return Ok(out);
+            };
+            let tok = if c.is_ascii_alphabetic() || c == '_' {
+                self.ident_or_keyword()
+            } else if c.is_ascii_digit() {
+                self.number(span)?
+            } else {
+                self.punct(span)?
+            };
+            out.push(Token { tok, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), FrontendError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    // preprocessor line: skip to end of line
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (None, _) => {
+                                return Err(FrontendError::lex(start, "unterminated block comment"))
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> Tok {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match s.as_str() {
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "for" => Tok::KwFor,
+            "while" => Tok::KwWhile,
+            "do" => Tok::KwDo,
+            "return" => Tok::KwReturn,
+            "int" => Tok::KwInt,
+            "unsigned" => Tok::KwUnsigned,
+            "signed" => Tok::KwSigned,
+            "float" => Tok::KwFloat,
+            "double" => Tok::KwDouble,
+            "bool" => Tok::KwBool,
+            "void" => Tok::KwVoid,
+            "char" => Tok::KwChar,
+            "long" => Tok::KwLong,
+            "short" => Tok::KwShort,
+            "const" => Tok::KwConst,
+            "true" => Tok::KwTrue,
+            "false" => Tok::KwFalse,
+            "__shared__" => Tok::KwShared,
+            "__global__" => Tok::KwGlobal,
+            "__device__" => Tok::KwDevice,
+            "__syncthreads" => Tok::KwSyncthreads,
+            _ => Tok::Ident(s),
+        }
+    }
+
+    fn number(&mut self, span: Span) -> Result<Tok, FrontendError> {
+        let mut s = String::new();
+        let radix = if self.peek() == Some('0') && matches!(self.peek2(), Some('x') | Some('X')) {
+            self.bump();
+            self.bump();
+            16
+        } else {
+            10
+        };
+        while let Some(c) = self.peek() {
+            if c.is_digit(radix) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // integer suffixes
+        while let Some(c) = self.peek() {
+            if matches!(c, 'u' | 'U' | 'l' | 'L') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if let Some(c) = self.peek() {
+            if c == '.' || (radix == 10 && matches!(c, 'e' | 'E' | 'f' | 'F')) {
+                return Err(FrontendError::lex(
+                    span,
+                    "floating-point literals are not supported (PUGpara does not handle floats)",
+                ));
+            }
+        }
+        if s.is_empty() {
+            return Err(FrontendError::lex(span, "malformed integer literal"));
+        }
+        let v = u64::from_str_radix(&s, radix)
+            .map_err(|e| FrontendError::lex(span, format!("bad integer literal: {e}")))?;
+        Ok(Tok::Int(v))
+    }
+
+    fn punct(&mut self, span: Span) -> Result<Tok, FrontendError> {
+        let c = self.bump().expect("caller checked");
+        let two = |l: &mut Lexer, next: char, yes: Tok, no: Tok| {
+            if l.peek() == Some(next) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let t = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ';' => Tok::Semi,
+            ',' => Tok::Comma,
+            '.' => Tok::Dot,
+            '?' => Tok::Question,
+            ':' => Tok::Colon,
+            '~' => Tok::Tilde,
+            '+' => match self.peek() {
+                Some('+') => {
+                    self.bump();
+                    Tok::PlusPlus
+                }
+                Some('=') => {
+                    self.bump();
+                    Tok::PlusAssign
+                }
+                _ => Tok::Plus,
+            },
+            '-' => match self.peek() {
+                Some('-') => {
+                    self.bump();
+                    Tok::MinusMinus
+                }
+                Some('=') => {
+                    self.bump();
+                    Tok::MinusAssign
+                }
+                _ => Tok::Minus,
+            },
+            '*' => two(self, '=', Tok::StarAssign, Tok::Star),
+            '/' => two(self, '=', Tok::SlashAssign, Tok::Slash),
+            '%' => two(self, '=', Tok::PercentAssign, Tok::Percent),
+            '^' => two(self, '=', Tok::CaretAssign, Tok::Caret),
+            '!' => two(self, '=', Tok::NotEq, Tok::Bang),
+            '=' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Tok::EqEq
+                }
+                // `=>` — implication in the assertion language (paper §III).
+                Some('>') => {
+                    self.bump();
+                    Tok::Implies
+                }
+                _ => Tok::Assign,
+            },
+            '&' => match self.peek() {
+                Some('&') => {
+                    self.bump();
+                    Tok::AndAnd
+                }
+                Some('=') => {
+                    self.bump();
+                    Tok::AmpAssign
+                }
+                _ => Tok::Amp,
+            },
+            '|' => match self.peek() {
+                Some('|') => {
+                    self.bump();
+                    Tok::OrOr
+                }
+                Some('=') => {
+                    self.bump();
+                    Tok::PipeAssign
+                }
+                _ => Tok::Pipe,
+            },
+            '<' => match self.peek() {
+                Some('<') => {
+                    self.bump();
+                    two(self, '=', Tok::ShlAssign, Tok::Shl)
+                }
+                Some('=') => {
+                    self.bump();
+                    Tok::Le
+                }
+                _ => Tok::Lt,
+            },
+            '>' => match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    two(self, '=', Tok::ShrAssign, Tok::Shr)
+                }
+                Some('=') => {
+                    self.bump();
+                    Tok::Ge
+                }
+                _ => Tok::Gt,
+            },
+            other => {
+                return Err(FrontendError::lex(span, format!("unexpected character {other:?}")))
+            }
+        };
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_cuda_keywords() {
+        assert_eq!(
+            toks("__shared__ __syncthreads();"),
+            vec![
+                Tok::KwShared,
+                Tok::KwSyncthreads,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            toks("a += b >>= c <<= d && e || f"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::PlusAssign,
+                Tok::Ident("b".into()),
+                Tok::ShrAssign,
+                Tok::Ident("c".into()),
+                Tok::ShlAssign,
+                Tok::Ident("d".into()),
+                Tok::AndAnd,
+                Tok::Ident("e".into()),
+                Tok::OrOr,
+                Tok::Ident("f".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        let src = "#define N 8\n// line\nint /* block */ x;";
+        assert_eq!(toks(src), vec![Tok::KwInt, Tok::Ident("x".into()), Tok::Semi, Tok::Eof]);
+    }
+
+    #[test]
+    fn hex_and_suffixes() {
+        assert_eq!(toks("0xff 10u 3L"), vec![Tok::Int(255), Tok::Int(10), Tok::Int(3), Tok::Eof]);
+    }
+
+    #[test]
+    fn float_literal_rejected() {
+        assert!(lex("1.5").is_err());
+        assert!(lex("2.0f").is_err());
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let ts = lex("int\n  x;").unwrap();
+        assert_eq!(ts[1].span.line, 2);
+        assert_eq!(ts[1].span.col, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* never ends").is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Tokens of the CUDA C subset.
+
+use std::fmt;
+
+/// Source position (1-based line/column) for diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Lexical token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    Ident(String),
+    /// Integer literal (decimal or 0x hex); suffixes `u`/`U`/`l`/`L` are
+    /// consumed and ignored.
+    Int(u64),
+    // keywords
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwDo,
+    KwReturn,
+    KwInt,
+    KwUnsigned,
+    KwSigned,
+    KwFloat,
+    KwDouble,
+    KwBool,
+    KwVoid,
+    KwChar,
+    KwLong,
+    KwShort,
+    KwConst,
+    KwTrue,
+    KwFalse,
+    KwShared,
+    KwGlobal,
+    KwDevice,
+    KwSyncthreads,
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Question,
+    Colon,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    PlusPlus,
+    MinusMinus,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    AndAnd,
+    OrOr,
+    EqEq,
+    NotEq,
+    /// `=>` — implication, assertion language only.
+    Implies,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Shl,
+    Shr,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(n) => write!(f, "integer `{n}`"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}

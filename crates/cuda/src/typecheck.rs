@@ -1,0 +1,411 @@
+//! Type checking of parsed kernels.
+//!
+//! Enforces the restrictions PUGpara states for its input language:
+//! no floating point, declared-before-use scalars, dimension-correct array
+//! indexing, Boolean conditions (C-style integers are accepted and coerced),
+//! and spec statements appearing in statement position. Postconditions are
+//! exempt from declared-before-use: their free scalars are implicitly
+//! universally quantified (paper §III).
+
+use crate::ast::*;
+use crate::error::FrontendError;
+use crate::token::Span;
+use std::collections::HashMap;
+
+/// Information the IR lowering needs about every declared name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VarInfo {
+    /// Scalar local or scalar kernel parameter.
+    Scalar { ty: Scalar, is_param: bool },
+    /// Global-memory array parameter (1-D, symbolic extent).
+    GlobalArray { elem: Scalar },
+    /// `__shared__` array with declared dimension extents.
+    SharedArray { elem: Scalar, dims: usize },
+    /// Non-shared local array (treated like a per-thread private array).
+    LocalArray { elem: Scalar, dims: usize },
+}
+
+/// Result of type checking: kinds of all declared names.
+#[derive(Clone, Debug, Default)]
+pub struct TypeInfo {
+    pub vars: HashMap<String, VarInfo>,
+}
+
+/// Type-check a kernel.
+pub fn check_kernel(kernel: &Kernel) -> Result<TypeInfo, FrontendError> {
+    let mut tc = TypeChecker { info: TypeInfo::default() };
+    for p in &kernel.params {
+        match &p.kind {
+            ParamKind::GlobalArray { elem } => {
+                tc.reject_float(*elem, Span::default(), &p.name)?;
+                tc.info
+                    .vars
+                    .insert(p.name.clone(), VarInfo::GlobalArray { elem: *elem });
+            }
+            ParamKind::Value { ty } => {
+                tc.reject_float(*ty, Span::default(), &p.name)?;
+                tc.info
+                    .vars
+                    .insert(p.name.clone(), VarInfo::Scalar { ty: *ty, is_param: true });
+            }
+        }
+    }
+    tc.stmts(&kernel.body)?;
+    Ok(tc.info)
+}
+
+/// The type of an expression: a scalar, with signedness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExprTy {
+    Bool,
+    Int { signed: bool },
+}
+
+struct TypeChecker {
+    info: TypeInfo,
+}
+
+impl TypeChecker {
+    fn reject_float(&self, s: Scalar, span: Span, name: &str) -> Result<(), FrontendError> {
+        if s == Scalar::Float {
+            return Err(FrontendError::ty(
+                span,
+                format!(
+                    "`{name}` has floating-point type: PUGpara does not support floats \
+                     (see KLEE-FP for float equivalence, paper §II-A)"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), FrontendError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), FrontendError> {
+        match s {
+            Stmt::Nop => Ok(()),
+            Stmt::Decl { ty, name, dims, init, shared, span } => {
+                self.reject_float(*ty, *span, name)?;
+                for d in dims {
+                    self.expr(d, *span, false)?;
+                }
+                if let Some(e) = init {
+                    if !dims.is_empty() {
+                        return Err(FrontendError::ty(
+                            *span,
+                            format!("array `{name}` cannot have a scalar initializer"),
+                        ));
+                    }
+                    self.expr(e, *span, false)?;
+                }
+                let info = if !dims.is_empty() {
+                    if *shared {
+                        VarInfo::SharedArray { elem: *ty, dims: dims.len() }
+                    } else {
+                        VarInfo::LocalArray { elem: *ty, dims: dims.len() }
+                    }
+                } else {
+                    VarInfo::Scalar { ty: *ty, is_param: false }
+                };
+                // C allows shadowing in inner scopes; the corpus does not use
+                // it, so redeclaration at a different kind is an error while
+                // same-kind redeclaration (e.g. re-lowered loops) is allowed.
+                if let Some(prev) = self.info.vars.get(name) {
+                    if *prev != info {
+                        return Err(FrontendError::ty(
+                            *span,
+                            format!("`{name}` redeclared with a different type"),
+                        ));
+                    }
+                }
+                self.info.vars.insert(name.clone(), info);
+                Ok(())
+            }
+            Stmt::Assign { lhs, op: _, rhs, span } => {
+                self.lvalue(lhs, *span)?;
+                self.expr(rhs, *span, false)?;
+                Ok(())
+            }
+            Stmt::If { cond, then, els, span } => {
+                self.expr(cond, *span, false)?;
+                self.stmts(then)?;
+                self.stmts(els)
+            }
+            Stmt::For { init, cond, update, body, span } => {
+                self.stmt(init)?;
+                self.expr(cond, *span, false)?;
+                self.stmt(update)?;
+                self.stmts(body)
+            }
+            Stmt::While { cond, body, span } => {
+                self.expr(cond, *span, false)?;
+                self.stmts(body)
+            }
+            Stmt::Barrier { .. } => Ok(()),
+            Stmt::Assert { cond, span } | Stmt::Assume { cond, span } | Stmt::Requires { cond, span } => {
+                self.expr(cond, *span, false)?;
+                Ok(())
+            }
+            Stmt::Postcond { cond, span } => {
+                // free scalars allowed: implicitly universally quantified
+                self.expr(cond, *span, true)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn lvalue(&mut self, lv: &LValue, span: Span) -> Result<(), FrontendError> {
+        match self.info.vars.get(&lv.name).cloned() {
+            None => Err(FrontendError::ty(span, format!("assignment to undeclared `{}`", lv.name))),
+            Some(VarInfo::Scalar { .. }) => {
+                if !lv.indices.is_empty() {
+                    return Err(FrontendError::ty(
+                        span,
+                        format!("`{}` is a scalar and cannot be indexed", lv.name),
+                    ));
+                }
+                Ok(())
+            }
+            Some(VarInfo::GlobalArray { .. }) => {
+                if lv.indices.len() != 1 {
+                    return Err(FrontendError::ty(
+                        span,
+                        format!("global array `{}` takes exactly one index", lv.name),
+                    ));
+                }
+                self.expr(&lv.indices[0], span, false)?;
+                Ok(())
+            }
+            Some(VarInfo::SharedArray { dims, .. }) | Some(VarInfo::LocalArray { dims, .. }) => {
+                if lv.indices.len() != dims {
+                    return Err(FrontendError::ty(
+                        span,
+                        format!("array `{}` has {dims} dimension(s), {} given", lv.name, lv.indices.len()),
+                    ));
+                }
+                for i in &lv.indices {
+                    self.expr(i, span, false)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, span: Span, spec: bool) -> Result<ExprTy, FrontendError> {
+        match e {
+            Expr::Int(_) => Ok(ExprTy::Int { signed: true }),
+            Expr::Bool(_) => Ok(ExprTy::Bool),
+            Expr::Builtin(_) => Ok(ExprTy::Int { signed: false }),
+            Expr::Ident(name) => match self.info.vars.get(name) {
+                Some(VarInfo::Scalar { ty, .. }) => Ok(scalar_ty(*ty)),
+                Some(_) => Err(FrontendError::ty(
+                    span,
+                    format!("array `{name}` used without an index"),
+                )),
+                None if spec => {
+                    // Implicitly quantified spec variable: registered as a
+                    // signed scalar so the lowering can bind it.
+                    self.info
+                        .vars
+                        .insert(name.clone(), VarInfo::Scalar { ty: Scalar::Int, is_param: false });
+                    Ok(ExprTy::Int { signed: true })
+                }
+                None => Err(FrontendError::ty(span, format!("use of undeclared `{name}`"))),
+            },
+            Expr::Index { base, indices } => {
+                let info = self.info.vars.get(base).cloned();
+                match info {
+                    Some(VarInfo::GlobalArray { elem }) => {
+                        if indices.len() != 1 {
+                            return Err(FrontendError::ty(
+                                span,
+                                format!("global array `{base}` takes exactly one index"),
+                            ));
+                        }
+                        self.expr(&indices[0], span, spec)?;
+                        Ok(scalar_ty(elem))
+                    }
+                    Some(VarInfo::SharedArray { elem, dims })
+                    | Some(VarInfo::LocalArray { elem, dims }) => {
+                        if indices.len() != dims {
+                            return Err(FrontendError::ty(
+                                span,
+                                format!("array `{base}` has {dims} dimension(s), {} given", indices.len()),
+                            ));
+                        }
+                        for i in indices {
+                            self.expr(i, span, spec)?;
+                        }
+                        Ok(scalar_ty(elem))
+                    }
+                    Some(VarInfo::Scalar { .. }) => {
+                        Err(FrontendError::ty(span, format!("scalar `{base}` cannot be indexed")))
+                    }
+                    None => Err(FrontendError::ty(span, format!("use of undeclared array `{base}`"))),
+                }
+            }
+            Expr::Unary { op, arg } => {
+                let t = self.expr(arg, span, spec)?;
+                match op {
+                    UnOp::Not => Ok(ExprTy::Bool),
+                    UnOp::Neg | UnOp::BitNot => match t {
+                        ExprTy::Bool => Err(FrontendError::ty(
+                            span,
+                            "arithmetic negation of a Boolean".to_string(),
+                        )),
+                        t => Ok(t),
+                    },
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lt = self.expr(lhs, span, spec)?;
+                let rt = self.expr(rhs, span, spec)?;
+                if op.is_comparison() {
+                    return Ok(ExprTy::Bool);
+                }
+                if op.is_logical() || *op == BinOp::Imp {
+                    return Ok(ExprTy::Bool);
+                }
+                // usual arithmetic conversion: unsigned wins
+                Ok(match (lt, rt) {
+                    (ExprTy::Int { signed: a }, ExprTy::Int { signed: b }) => {
+                        ExprTy::Int { signed: a && b }
+                    }
+                    // bool promoted to int in arithmetic
+                    (ExprTy::Int { signed }, ExprTy::Bool) | (ExprTy::Bool, ExprTy::Int { signed }) => {
+                        ExprTy::Int { signed }
+                    }
+                    (ExprTy::Bool, ExprTy::Bool) => ExprTy::Int { signed: true },
+                })
+            }
+            Expr::Ternary { cond, then, els } => {
+                self.expr(cond, span, spec)?;
+                let t = self.expr(then, span, spec)?;
+                let e2 = self.expr(els, span, spec)?;
+                Ok(match (t, e2) {
+                    (ExprTy::Bool, ExprTy::Bool) => ExprTy::Bool,
+                    (ExprTy::Int { signed: a }, ExprTy::Int { signed: b }) => {
+                        ExprTy::Int { signed: a && b }
+                    }
+                    _ => ExprTy::Int { signed: true },
+                })
+            }
+            Expr::Call { name, args } => {
+                match name.as_str() {
+                    "min" | "max" => {
+                        if args.len() != 2 {
+                            return Err(FrontendError::ty(
+                                span,
+                                format!("`{name}` takes exactly two arguments"),
+                            ));
+                        }
+                        let a = self.expr(&args[0], span, spec)?;
+                        let b = self.expr(&args[1], span, spec)?;
+                        Ok(match (a, b) {
+                            (ExprTy::Int { signed: x }, ExprTy::Int { signed: y }) => {
+                                ExprTy::Int { signed: x && y }
+                            }
+                            _ => ExprTy::Int { signed: true },
+                        })
+                    }
+                    other => Err(FrontendError::ty(
+                        span,
+                        format!("unsupported function call `{other}` (only min/max builtins)"),
+                    )),
+                }
+            }
+        }
+    }
+}
+
+fn scalar_ty(s: Scalar) -> ExprTy {
+    match s {
+        Scalar::Bool => ExprTy::Bool,
+        Scalar::Int => ExprTy::Int { signed: true },
+        Scalar::Uint => ExprTy::Int { signed: false },
+        Scalar::Float => ExprTy::Int { signed: true }, // rejected earlier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_kernel;
+
+    fn check_src(src: &str) -> Result<TypeInfo, FrontendError> {
+        check_kernel(&parse_kernel(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_transpose() {
+        let src = r#"
+void k(int *odata, int *idata, int width, int height) {
+    int xIndex = bid.x * bdim.x + tid.x;
+    if (xIndex < width) odata[xIndex] = idata[xIndex];
+}
+"#;
+        let info = check_src(src).unwrap();
+        assert_eq!(info.vars["odata"], VarInfo::GlobalArray { elem: Scalar::Int });
+        assert_eq!(info.vars["xIndex"], VarInfo::Scalar { ty: Scalar::Int, is_param: false });
+    }
+
+    #[test]
+    fn rejects_float_param() {
+        let err = check_src("void k(float *d) { d[tid.x] = 0; }").unwrap_err();
+        assert!(err.to_string().contains("float"));
+    }
+
+    #[test]
+    fn rejects_undeclared_use() {
+        assert!(check_src("void k(int *d) { d[tid.x] = nowhere; }").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity_index() {
+        let src = r#"
+void k(int *d) {
+    __shared__ int s[bdim.x][bdim.x];
+    d[tid.x] = s[tid.x];
+}
+"#;
+        assert!(check_src(src).is_err());
+    }
+
+    #[test]
+    fn postcond_free_vars_ok() {
+        let src = r#"
+void k(int *odata, int *idata, int width) {
+    odata[tid.x] = idata[tid.x];
+    postcond(i < width => odata[i] == idata[i]);
+}
+"#;
+        let info = check_src(src).unwrap();
+        assert!(matches!(info.vars["i"], VarInfo::Scalar { .. }));
+    }
+
+    #[test]
+    fn free_vars_only_in_postcond() {
+        let src = r#"
+void k(int *odata) {
+    assert(i < 10);
+}
+"#;
+        assert!(check_src(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_call() {
+        assert!(check_src("void k(int *d) { d[0] = foo(1); }").is_err());
+    }
+
+    #[test]
+    fn min_max_accepted() {
+        let src = "void k(int *d, int w, int h) { d[tid.x] = min(w, h) + max(w, h); }";
+        check_src(src).unwrap();
+    }
+}

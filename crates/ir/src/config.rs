@@ -1,0 +1,171 @@
+//! GPU launch configuration: grid/block dimensions, bit width, and the
+//! symbolic-vs-concrete choice per dimension (the paper's "+C." flag).
+
+use pug_smt::{Ctx, Sort, TermId};
+
+/// One launch-configuration dimension: either a concrete value or fully
+/// symbolic (constrained only to be non-zero).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Extent {
+    /// Concrete extent — used by the non-parameterized encoder and by
+    /// concretized ("+C.") parameterized runs.
+    Const(u64),
+    /// Symbolic extent — the parameterized default.
+    Sym,
+}
+
+/// Launch configuration plus the bit-vector width used for *all* integer
+/// values (the paper: "Z3's expressions are based on bit vectors; the
+/// solving time depends on the number of bits", §V).
+#[derive(Clone, Debug)]
+pub struct GpuConfig {
+    /// Bit width of every integer (8, 12, 16, 32 in the paper's tables).
+    pub bits: u32,
+    /// Block dimensions (x, y, z).
+    pub bdim: [Extent; 3],
+    /// Grid dimensions (x, y).
+    pub gdim: [Extent; 2],
+}
+
+impl GpuConfig {
+    /// A 1-D configuration with a concrete block of `n` threads.
+    pub fn concrete_1d(bits: u32, n: u64) -> GpuConfig {
+        GpuConfig {
+            bits,
+            bdim: [Extent::Const(n), Extent::Const(1), Extent::Const(1)],
+            gdim: [Extent::Const(1), Extent::Const(1)],
+        }
+    }
+
+    /// A 2-D configuration with one concrete `bx × by` block.
+    pub fn concrete_2d(bits: u32, bx: u64, by: u64) -> GpuConfig {
+        GpuConfig {
+            bits,
+            bdim: [Extent::Const(bx), Extent::Const(by), Extent::Const(1)],
+            gdim: [Extent::Const(1), Extent::Const(1)],
+        }
+    }
+
+    /// Fully symbolic configuration (the parameterized default, "-C.").
+    pub fn symbolic(bits: u32) -> GpuConfig {
+        GpuConfig { bits, bdim: [Extent::Sym; 3], gdim: [Extent::Sym; 2] }
+    }
+
+    /// Symbolic 2-D configuration: `bdim.z` pinned to 1, everything else
+    /// symbolic (the launch shape of the transpose/matmul kernels).
+    pub fn symbolic_2d(bits: u32) -> GpuConfig {
+        GpuConfig {
+            bits,
+            bdim: [Extent::Sym, Extent::Sym, Extent::Const(1)],
+            gdim: [Extent::Sym; 2],
+        }
+    }
+
+    /// Symbolic 1-D configuration: `bdim.y/z` and `gdim.y` pinned to 1
+    /// (the launch shape of the reduction/scan kernels).
+    pub fn symbolic_1d(bits: u32) -> GpuConfig {
+        GpuConfig {
+            bits,
+            bdim: [Extent::Sym, Extent::Const(1), Extent::Const(1)],
+            gdim: [Extent::Sym, Extent::Const(1)],
+        }
+    }
+
+    /// Total threads per block when fully concrete.
+    pub fn threads_per_block(&self) -> Option<u64> {
+        match self.bdim {
+            [Extent::Const(x), Extent::Const(y), Extent::Const(z)] => Some(x * y * z),
+            _ => None,
+        }
+    }
+
+    /// Total blocks when fully concrete.
+    pub fn num_blocks(&self) -> Option<u64> {
+        match self.gdim {
+            [Extent::Const(x), Extent::Const(y)] => Some(x * y),
+            _ => None,
+        }
+    }
+}
+
+/// The configuration bound to SMT terms: `bdim.x` etc. become either
+/// constants or fresh variables, plus well-formedness side constraints
+/// (every extent is non-zero; the paper's `bid.* < gdim.*`, `tid.* < bdim.*`
+/// constraints are added per thread by the encoders).
+#[derive(Clone, Debug)]
+pub struct BoundConfig {
+    pub bits: u32,
+    pub bdim: [TermId; 3],
+    pub gdim: [TermId; 2],
+    /// Side constraints on symbolic extents (non-zero).
+    pub constraints: Vec<TermId>,
+}
+
+impl GpuConfig {
+    /// Bind the configuration in `ctx`, creating fresh variables for the
+    /// symbolic extents. `prefix` keeps the two kernels of an equivalence
+    /// check sharing the *same* configuration terms when passed identically.
+    pub fn bind(&self, ctx: &mut Ctx, prefix: &str) -> BoundConfig {
+        let w = self.bits;
+        let mut constraints = Vec::new();
+        let mut bind_dim = |ctx: &mut Ctx, name: String, e: Extent| -> TermId {
+            match e {
+                Extent::Const(v) => ctx.mk_bv_const(v, w),
+                Extent::Sym => {
+                    let v = ctx.mk_var(&name, Sort::BitVec(w));
+                    let zero = ctx.mk_bv_const(0, w);
+                    let nz = ctx.mk_neq(v, zero);
+                    constraints.push(nz);
+                    v
+                }
+            }
+        };
+        let bdim = [
+            bind_dim(ctx, format!("{prefix}bdim.x"), self.bdim[0]),
+            bind_dim(ctx, format!("{prefix}bdim.y"), self.bdim[1]),
+            bind_dim(ctx, format!("{prefix}bdim.z"), self.bdim[2]),
+        ];
+        let gdim = [
+            bind_dim(ctx, format!("{prefix}gdim.x"), self.gdim[0]),
+            bind_dim(ctx, format!("{prefix}gdim.y"), self.gdim[1]),
+        ];
+        BoundConfig { bits: w, bdim, gdim, constraints }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_binding_folds_to_constants() {
+        let mut ctx = Ctx::new();
+        let cfg = GpuConfig::concrete_2d(8, 4, 4);
+        let b = cfg.bind(&mut ctx, "");
+        assert_eq!(ctx.const_bv(b.bdim[0]), Some(4));
+        assert_eq!(ctx.const_bv(b.gdim[0]), Some(1));
+        assert!(b.constraints.is_empty());
+        assert_eq!(cfg.threads_per_block(), Some(16));
+    }
+
+    #[test]
+    fn symbolic_binding_adds_nonzero_constraints() {
+        let mut ctx = Ctx::new();
+        let cfg = GpuConfig::symbolic(16);
+        let b = cfg.bind(&mut ctx, "");
+        assert_eq!(b.constraints.len(), 5);
+        assert!(ctx.const_bv(b.bdim[0]).is_none());
+        assert_eq!(cfg.threads_per_block(), None);
+    }
+
+    #[test]
+    fn shared_prefix_shares_terms() {
+        let mut ctx = Ctx::new();
+        let cfg = GpuConfig::symbolic(16);
+        let a = cfg.bind(&mut ctx, "");
+        let b = cfg.bind(&mut ctx, "");
+        assert_eq!(a.bdim[0], b.bdim[0]);
+        let c = cfg.bind(&mut ctx, "other!");
+        assert_ne!(a.bdim[0], c.bdim[0]);
+    }
+}

@@ -1,0 +1,38 @@
+//! IR-level diagnostics.
+
+use std::fmt;
+
+/// Errors raised while lowering or symbolically executing a kernel.
+#[derive(Clone, Debug)]
+pub enum IrError {
+    /// A loop bound could not be reduced to a constant — the paper's remedy
+    /// is concretization ("+C.") or loop alignment (§IV-E).
+    SymbolicLoopBound { detail: String },
+    /// A loop exceeded the unrolling budget.
+    UnrollBudget { max: usize },
+    /// `__syncthreads()` under a thread-dependent branch: barrier divergence.
+    BarrierDivergence { detail: String },
+    /// A feature outside the supported subset.
+    Unsupported { detail: String },
+    /// Internal invariant violation (indicates a bug in the pipeline).
+    Internal { detail: String },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::SymbolicLoopBound { detail } => write!(
+                f,
+                "loop bound is symbolic ({detail}); concretize inputs (+C) or rely on loop alignment"
+            ),
+            IrError::UnrollBudget { max } => write!(f, "loop exceeded the unroll budget of {max}"),
+            IrError::BarrierDivergence { detail } => {
+                write!(f, "barrier divergence: __syncthreads() under a divergent branch ({detail})")
+            }
+            IrError::Unsupported { detail } => write!(f, "unsupported construct: {detail}"),
+            IrError::Internal { detail } => write!(f, "internal error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

@@ -1,0 +1,30 @@
+//! # pug-ir — kernel IR and analyses for PUGpara
+//!
+//! Bridges the CUDA front-end ([`pug_cuda`]) and the SMT layer
+//! ([`pug_smt`]):
+//!
+//! * [`config`] — launch configurations (bit width, concrete/symbolic
+//!   grid/block extents, the paper's "+C." concretization flag);
+//! * [`exec`] — the symbolic executor implementing the paper's Γ translation
+//!   (§III-A): SSA-by-construction locals, `ite`-merged branches, on-the-fly
+//!   unrolling of concrete loops, pluggable [`exec::Memory`] models;
+//! * [`structure`] — barrier-interval splitting and unrolling of loops that
+//!   contain barriers (§II, §IV-C);
+//! * [`align`] — loop-header normalization and alignment (§IV-E);
+//! * [`consteval`] — numeric evaluation used to simulate loop headers.
+
+pub mod align;
+pub mod config;
+pub mod consteval;
+pub mod error;
+pub mod exec;
+pub mod interp;
+pub mod structure;
+
+pub use align::{align_headers, normalize_header, Alignment, Header, LoopSpace};
+pub use config::{BoundConfig, Extent, GpuConfig};
+pub use consteval::ConstEnv;
+pub use error::IrError;
+pub use interp::{run_concrete, ConcreteInputs, ConcreteState};
+pub use exec::{Access, Env, ExecOutputs, Machine, Memory, StoreMemory, Val};
+pub use structure::{contains_barrier, split_bis, split_segments, unroll_barrier_loops, Segment};

@@ -1,0 +1,42 @@
+//! Bitonic sort — the SDK kernel the paper names as GKLEE's blow-up case
+//! ("the BitonicSort kernel (of about 50 lines of code) will cause blow-up
+//! when the thread number is greater than 8", §II-A).
+
+/// Single-block bitonic sort of `blockDim.x` shared values. Nested loops
+/// with barrier-separated compare-exchange phases; bounds depend on the
+/// block size, so every encoding path unrolls under a concrete block.
+pub const KERNEL: &str = r#"
+__global__ void bitonicSort(int *values) {
+    requires(blockDim.x <= 16 && blockDim.y == 1 && blockDim.z == 1);
+    requires((blockDim.x & (blockDim.x - 1)) == 0);
+    __shared__ int shared[blockDim.x];
+
+    unsigned int tid = threadIdx.x;
+    shared[tid] = values[tid];
+    __syncthreads();
+
+    for (unsigned int k = 2; k <= blockDim.x; k *= 2) {
+        for (unsigned int j = k / 2; j > 0; j /= 2) {
+            unsigned int ixj = tid ^ j;
+            if (ixj > tid) {
+                if ((tid & k) == 0) {
+                    if (shared[tid] > shared[ixj]) {
+                        int tmp = shared[tid];
+                        shared[tid] = shared[ixj];
+                        shared[ixj] = tmp;
+                    }
+                } else {
+                    if (shared[tid] < shared[ixj]) {
+                        int tmp = shared[tid];
+                        shared[tid] = shared[ixj];
+                        shared[ixj] = tmp;
+                    }
+                }
+            }
+            __syncthreads();
+        }
+    }
+
+    values[tid] = shared[tid];
+}
+"#;

@@ -1,0 +1,159 @@
+//! The Reduction kernels (SDK `reduce0`–`reduce2` lineage; the §IV-E loop
+//! pair). All variants sum `blockDim.x` elements per block into
+//! `g_odata[blockIdx.x]` through shared memory.
+//!
+//! `requires(blockDim.x <= 16)` bounds the block so the strided index
+//! `2*s*tid.x` cannot wrap at the 8-bit model width (the real kernels rely
+//! on the same no-overflow assumption at 32 bits with ≤1024 threads); the
+//! bound still leaves the block size and all inputs fully symbolic.
+
+/// v0 — naive: modulo arithmetic in the guard (highly divergent).
+pub const V0: &str = r#"
+__global__ void reduce0(int *g_odata, int *g_idata) {
+    requires(blockDim.x <= 16 && blockDim.y == 1 && blockDim.z == 1);
+    __shared__ int sdata[blockDim.x];
+
+    unsigned int i = blockIdx.x * blockDim.x + threadIdx.x;
+    sdata[threadIdx.x] = g_idata[i];
+    __syncthreads();
+
+    for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+        if ((threadIdx.x % (2 * s)) == 0) {
+            sdata[threadIdx.x] += sdata[threadIdx.x + s];
+        }
+        __syncthreads();
+    }
+
+    if (threadIdx.x == 0) g_odata[blockIdx.x] = sdata[0];
+}
+"#;
+
+/// v1 — optimized: strided indexing removes the slow modulo (the paper's
+/// §IV-E optimization; loop structure preserved, same ascending header).
+pub const V1: &str = r#"
+__global__ void reduce1(int *g_odata, int *g_idata) {
+    requires(blockDim.x <= 16 && blockDim.y == 1 && blockDim.z == 1);
+    __shared__ int sdata[blockDim.x];
+
+    unsigned int i = blockIdx.x * blockDim.x + threadIdx.x;
+    sdata[threadIdx.x] = g_idata[i];
+    __syncthreads();
+
+    for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+        unsigned int index = 2 * s * threadIdx.x;
+        if (index < blockDim.x) {
+            sdata[index] += sdata[index + s];
+        }
+        __syncthreads();
+    }
+
+    if (threadIdx.x == 0) g_odata[blockIdx.x] = sdata[0];
+}
+"#;
+
+/// v2 — sequential addressing with a descending header (`s = bdim/2 … 1`).
+/// Not iteration-aligned with v0/v1 (different per-round trees); used by
+/// the concrete-configuration (non-parameterized) equivalence checks and
+/// the race/performance analyses.
+pub const V2: &str = r#"
+__global__ void reduce2(int *g_odata, int *g_idata) {
+    requires(blockDim.x <= 16 && blockDim.y == 1 && blockDim.z == 1);
+    __shared__ int sdata[blockDim.x];
+
+    unsigned int i = blockIdx.x * blockDim.x + threadIdx.x;
+    sdata[threadIdx.x] = g_idata[i];
+    __syncthreads();
+
+    for (unsigned int s = blockDim.x / 2; s > 0; s >>= 1) {
+        if (threadIdx.x < s) {
+            sdata[threadIdx.x] += sdata[threadIdx.x + s];
+        }
+        __syncthreads();
+    }
+
+    if (threadIdx.x == 0) g_odata[blockIdx.x] = sdata[0];
+}
+"#;
+
+/// Seeded bug: the strided index uses `2*s*tid.x + 1` — a wrong shared
+/// address (Table III class 2).
+pub const BUGGY_INDEX: &str = r#"
+__global__ void reduceBuggyIndex(int *g_odata, int *g_idata) {
+    requires(blockDim.x <= 16 && blockDim.y == 1 && blockDim.z == 1);
+    __shared__ int sdata[blockDim.x];
+
+    unsigned int i = blockIdx.x * blockDim.x + threadIdx.x;
+    sdata[threadIdx.x] = g_idata[i];
+    __syncthreads();
+
+    for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+        unsigned int index = 2 * s * threadIdx.x + 1;
+        if (index < blockDim.x) {
+            sdata[index] += sdata[index + s];
+        }
+        __syncthreads();
+    }
+
+    if (threadIdx.x == 0) g_odata[blockIdx.x] = sdata[0];
+}
+"#;
+
+/// Seeded bug: the guard admits one stride too many (`<=` instead of `<`) —
+/// a wrong conditional guard (Table III class 2).
+pub const BUGGY_GUARD: &str = r#"
+__global__ void reduceBuggyGuard(int *g_odata, int *g_idata) {
+    requires(blockDim.x <= 16 && blockDim.y == 1 && blockDim.z == 1);
+    __shared__ int sdata[blockDim.x];
+
+    unsigned int i = blockIdx.x * blockDim.x + threadIdx.x;
+    sdata[threadIdx.x] = g_idata[i];
+    __syncthreads();
+
+    for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+        unsigned int index = 2 * s * threadIdx.x;
+        if (index <= blockDim.x) {
+            sdata[index] += sdata[index + s];
+        }
+        __syncthreads();
+    }
+
+    if (threadIdx.x == 0) g_odata[blockIdx.x] = sdata[0];
+}
+"#;
+
+/// Template: [`V0`] with a caller-chosen block bound (the bound that keeps
+/// `2*s*tid.x` from wrapping depends on the model bit width: ≤16 at 8 bits,
+/// ≤32 at 12, ≤128 at 16, effectively unbounded at 32).
+pub fn v0_bounded(max_block: u64) -> String {
+    V0.replace("blockDim.x <= 16", &format!("blockDim.x <= {max_block}"))
+}
+
+/// Template: [`V1`] with a caller-chosen block bound.
+pub fn v1_bounded(max_block: u64) -> String {
+    V1.replace("blockDim.x <= 16", &format!("blockDim.x <= {max_block}"))
+}
+
+/// Template: [`V2`] with a caller-chosen block bound.
+pub fn v2_bounded(max_block: u64) -> String {
+    V2.replace("blockDim.x <= 16", &format!("blockDim.x <= {max_block}"))
+}
+
+/// Template: [`BUGGY_INDEX`] with a caller-chosen block bound.
+pub fn buggy_index_bounded(max_block: u64) -> String {
+    BUGGY_INDEX.replace("blockDim.x <= 16", &format!("blockDim.x <= {max_block}"))
+}
+
+/// Template: [`BUGGY_GUARD`] with a caller-chosen block bound.
+pub fn buggy_guard_bounded(max_block: u64) -> String {
+    BUGGY_GUARD.replace("blockDim.x <= 16", &format!("blockDim.x <= {max_block}"))
+}
+
+/// The block bound that keeps the strided index wrap-free at `bits`.
+pub fn safe_block_bound(bits: u32) -> u64 {
+    match bits {
+        0..=8 => 16,
+        9..=12 => 32,
+        13..=16 => 128,
+        _ => 16384,
+    }
+}

@@ -1,0 +1,59 @@
+//! Scalar product — the SDK kernel whose `ACCN` (accumulator count) must be
+//! a power of two; the paper's §V names this implicit assumption as a
+//! configuration bug PUGpara reveals ("using a value of ACCN that is not a
+//! power of 2").
+
+/// Per-block dot product: each thread accumulates a strided partial sum
+/// into one of `ACCN` accumulators, then a tree reduction combines them.
+/// The tree is only correct when `ACCN` (here fixed to `blockDim.x`) is a
+/// power of two — stated via `requires`.
+pub const KERNEL: &str = r#"
+__global__ void scalarProd(int *d_C, int *d_A, int *d_B, int vectorN) {
+    requires(blockDim.x <= 16 && blockDim.y == 1 && blockDim.z == 1);
+    requires((blockDim.x & (blockDim.x - 1)) == 0);
+    __shared__ int accumResult[blockDim.x];
+
+    unsigned int iAccum = threadIdx.x;
+    int sum = 0;
+    if (iAccum < vectorN) {
+        sum = d_A[iAccum] * d_B[iAccum];
+    }
+    accumResult[iAccum] = sum;
+    __syncthreads();
+
+    for (unsigned int stride = blockDim.x / 2; stride > 0; stride >>= 1) {
+        if (threadIdx.x < stride) {
+            accumResult[threadIdx.x] += accumResult[threadIdx.x + stride];
+        }
+        __syncthreads();
+    }
+
+    if (threadIdx.x == 0) d_C[blockIdx.x] = accumResult[0];
+}
+"#;
+
+/// The same kernel without the power-of-two requirement: checking it
+/// against [`KERNEL`] (or its own spec) exposes the hidden assumption.
+pub const UNCONSTRAINED: &str = r#"
+__global__ void scalarProdUnconstrained(int *d_C, int *d_A, int *d_B, int vectorN) {
+    requires(blockDim.x <= 16 && blockDim.y == 1 && blockDim.z == 1);
+    __shared__ int accumResult[blockDim.x];
+
+    unsigned int iAccum = threadIdx.x;
+    int sum = 0;
+    if (iAccum < vectorN) {
+        sum = d_A[iAccum] * d_B[iAccum];
+    }
+    accumResult[iAccum] = sum;
+    __syncthreads();
+
+    for (unsigned int stride = blockDim.x / 2; stride > 0; stride >>= 1) {
+        if (threadIdx.x < stride) {
+            accumResult[threadIdx.x] += accumResult[threadIdx.x + stride];
+        }
+        __syncthreads();
+    }
+
+    if (threadIdx.x == 0) d_C[blockIdx.x] = accumResult[0];
+}
+"#;

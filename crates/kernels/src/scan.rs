@@ -1,0 +1,73 @@
+//! Scan (parallel prefix sum) — the paper's §III recursive-postcondition
+//! example: `g_odata[0] = 0 ∧ (0 < i < n−1 ⇒ g_odata[i+1] = g_odata[i] +
+//! g_idata[i])`, i.e. an exclusive scan.
+
+/// Naive single-block Hillis–Steele inclusive scan, shifted to exclusive on
+/// output. Loop bounds depend on `blockDim.x`, so the parameterized checker
+/// needs concretization (exactly the paper's observation that "the
+/// reduction kernels contain loops whose upper bounds depend on n").
+pub const NAIVE: &str = r#"
+__global__ void scanNaive(int *g_odata, int *g_idata) {
+    requires(blockDim.x <= 16 && blockDim.y == 1 && blockDim.z == 1);
+    __shared__ int temp[blockDim.x];
+    __shared__ int temp2[blockDim.x];
+
+    unsigned int tid = threadIdx.x;
+    temp[tid] = g_idata[tid];
+    __syncthreads();
+
+    for (unsigned int offset = 1; offset < blockDim.x; offset *= 2) {
+        if (tid >= offset) {
+            temp2[tid] = temp[tid] + temp[tid - offset];
+        } else {
+            temp2[tid] = temp[tid];
+        }
+        __syncthreads();
+        temp[tid] = temp2[tid];
+        __syncthreads();
+    }
+
+    if (tid == 0) {
+        g_odata[0] = 0;
+    }
+    if (tid > 0) {
+        g_odata[tid] = temp[tid - 1];
+    }
+}
+"#;
+
+/// The same scan with the paper's recursive post-condition (§III).
+pub const NAIVE_WITH_POSTCOND: &str = r#"
+__global__ void scanNaive(int *g_odata, int *g_idata) {
+    requires(blockDim.x <= 16 && blockDim.y == 1 && blockDim.z == 1);
+    __shared__ int temp[blockDim.x];
+    __shared__ int temp2[blockDim.x];
+
+    unsigned int tid = threadIdx.x;
+    temp[tid] = g_idata[tid];
+    __syncthreads();
+
+    for (unsigned int offset = 1; offset < blockDim.x; offset *= 2) {
+        if (tid >= offset) {
+            temp2[tid] = temp[tid] + temp[tid - offset];
+        } else {
+            temp2[tid] = temp[tid];
+        }
+        __syncthreads();
+        temp[tid] = temp2[tid];
+        __syncthreads();
+    }
+
+    if (tid == 0) {
+        g_odata[0] = 0;
+    }
+    if (tid > 0) {
+        g_odata[tid] = temp[tid - 1];
+    }
+
+    int i;
+    postcond(g_odata[0] == 0);
+    postcond(0 <= i && i + 1 < blockDim.x =>
+             g_odata[i + 1] == g_odata[i] + g_idata[i]);
+}
+"#;

@@ -1,0 +1,181 @@
+//! The Transpose kernels of paper §II: naive (non-coalesced) and optimized
+//! (coalesced reads/writes via a padded shared-memory tile), plus buggy
+//! variants used in Table III.
+//!
+//! The `requires` lines state the validity assumptions the paper discusses:
+//! non-degenerate matrix sizes, no index overflow at the model bit width
+//! (`width*height/height == width` detects multiplication wrap-around), and
+//! — for the optimized kernel — the square-block assumption revealed by
+//! PUGpara in §IV-B. [`OPTIMIZED_UNCONSTRAINED`] omits the square-block
+//! requirement so the hidden assumption can be rediscovered.
+//!
+//! `blockDim.* <= 15` bounds the block so the padded tile
+//! `block[bdim.x][bdim.x+1]` cannot wrap at the smallest (8-bit) model
+//! width — the analogue of the real kernel's implicit shared-memory-size
+//! bound, and of the paper's remark that blocks can be downscaled before
+//! running PUGpara. Likewise `gridDim.* * blockDim.* <= 100` (with a
+//! division-based wrap check) keeps thread coordinates inside the signed
+//! range of the smallest model width, as real launches keep them inside
+//! 32-bit `int`. The configuration and all inputs stay fully symbolic.
+
+/// Naive transpose (§II listing 1): coalesced reads, scattered writes.
+pub const NAIVE: &str = r#"
+__global__ void naiveTranspose(int *odata, int *idata, int width, int height) {
+    requires(width > 0 && height > 0);
+    requires((width * height) / height == width);
+    requires(blockDim.x <= 15 && blockDim.y <= 15 && blockDim.z == 1);
+    requires((gridDim.x * blockDim.x) / blockDim.x == gridDim.x);
+    requires((gridDim.y * blockDim.y) / blockDim.y == gridDim.y);
+    requires(gridDim.x * blockDim.x <= 100 && gridDim.y * blockDim.y <= 100);
+    int xIndex = blockIdx.x * blockDim.x + threadIdx.x;
+    int yIndex = blockIdx.y * blockDim.y + threadIdx.y;
+    if (xIndex < width && yIndex < height) {
+        int index_in = xIndex + width * yIndex;
+        int index_out = yIndex + height * xIndex;
+        odata[index_out] = idata[index_in];
+    }
+}
+"#;
+
+/// Naive transpose with the paper's post-condition (§II): every input
+/// element lands at its transposed position.
+pub const NAIVE_WITH_POSTCOND: &str = r#"
+__global__ void naiveTranspose(int *odata, int *idata, int width, int height) {
+    requires(width > 0 && height > 0);
+    requires((width * height) / height == width);
+    requires(blockDim.x <= 15 && blockDim.y <= 15 && blockDim.z == 1);
+    requires((gridDim.x * blockDim.x) / blockDim.x == gridDim.x);
+    requires((gridDim.y * blockDim.y) / blockDim.y == gridDim.y);
+    requires(gridDim.x * blockDim.x <= 100 && gridDim.y * blockDim.y <= 100);
+    requires(width <= gridDim.x * blockDim.x);
+    requires(height <= gridDim.y * blockDim.y);
+    int xIndex = blockIdx.x * blockDim.x + threadIdx.x;
+    int yIndex = blockIdx.y * blockDim.y + threadIdx.y;
+    if (xIndex < width && yIndex < height) {
+        int index_in = xIndex + width * yIndex;
+        int index_out = yIndex + height * xIndex;
+        odata[index_out] = idata[index_in];
+    }
+    int i, j;
+    postcond(0 <= i && i < width && 0 <= j && j < height =>
+             odata[i * height + j] == idata[j * width + i]);
+}
+"#;
+
+/// Optimized transpose (§II listing 2): reads a tile into padded shared
+/// memory (bank-conflict-free), writes coalesced. Requires a square block.
+pub const OPTIMIZED: &str = r#"
+__global__ void optimizedTranspose(int *odata, int *idata, int width, int height) {
+    requires(width > 0 && height > 0);
+    requires((width * height) / height == width);
+    requires(blockDim.x <= 15 && blockDim.y <= 15 && blockDim.z == 1);
+    requires((gridDim.x * blockDim.x) / blockDim.x == gridDim.x);
+    requires((gridDim.y * blockDim.y) / blockDim.y == gridDim.y);
+    requires(gridDim.x * blockDim.x <= 100 && gridDim.y * blockDim.y <= 100);
+    requires(blockDim.x == blockDim.y);
+    __shared__ int block[blockDim.x][blockDim.x + 1];
+
+    int xIndex = blockIdx.x * blockDim.x + threadIdx.x;
+    int yIndex = blockIdx.y * blockDim.y + threadIdx.y;
+    if (xIndex < width && yIndex < height) {
+        int index_in = yIndex * width + xIndex;
+        block[threadIdx.y][threadIdx.x] = idata[index_in];
+    }
+    __syncthreads();
+
+    xIndex = blockIdx.y * blockDim.y + threadIdx.x;
+    yIndex = blockIdx.x * blockDim.x + threadIdx.y;
+    if (xIndex < height && yIndex < width) {
+        int index_out = yIndex * height + xIndex;
+        odata[index_out] = block[threadIdx.x][threadIdx.y];
+    }
+}
+"#;
+
+/// [`OPTIMIZED`] without `requires(blockDim.x == blockDim.y)`: PUGpara's
+/// coverage check rediscovers the hidden square-block assumption (§IV-B),
+/// the `*` rows of Table II.
+pub const OPTIMIZED_UNCONSTRAINED: &str = r#"
+__global__ void optimizedTransposeUnconstrained(int *odata, int *idata, int width, int height) {
+    requires(width > 0 && height > 0);
+    requires((width * height) / height == width);
+    requires(blockDim.x <= 15 && blockDim.y <= 15 && blockDim.z == 1);
+    requires((gridDim.x * blockDim.x) / blockDim.x == gridDim.x);
+    requires((gridDim.y * blockDim.y) / blockDim.y == gridDim.y);
+    requires(gridDim.x * blockDim.x <= 100 && gridDim.y * blockDim.y <= 100);
+    __shared__ int block[blockDim.x][blockDim.x + 1];
+
+    int xIndex = blockIdx.x * blockDim.x + threadIdx.x;
+    int yIndex = blockIdx.y * blockDim.y + threadIdx.y;
+    if (xIndex < width && yIndex < height) {
+        int index_in = yIndex * width + xIndex;
+        block[threadIdx.y][threadIdx.x] = idata[index_in];
+    }
+    __syncthreads();
+
+    xIndex = blockIdx.y * blockDim.y + threadIdx.x;
+    yIndex = blockIdx.x * blockDim.x + threadIdx.y;
+    if (xIndex < height && yIndex < width) {
+        int index_out = yIndex * height + xIndex;
+        odata[index_out] = block[threadIdx.x][threadIdx.y];
+    }
+}
+"#;
+
+/// Seeded bug (Table III class 2): the output address is off by one —
+/// "modifying the addresses of accesses on shared variables".
+pub const BUGGY_ADDR: &str = r#"
+__global__ void buggyTranspose(int *odata, int *idata, int width, int height) {
+    requires(width > 0 && height > 0);
+    requires((width * height) / height == width);
+    requires(blockDim.x <= 15 && blockDim.y <= 15 && blockDim.z == 1);
+    requires((gridDim.x * blockDim.x) / blockDim.x == gridDim.x);
+    requires((gridDim.y * blockDim.y) / blockDim.y == gridDim.y);
+    requires(gridDim.x * blockDim.x <= 100 && gridDim.y * blockDim.y <= 100);
+    __shared__ int block[blockDim.x][blockDim.x + 1];
+
+    int xIndex = blockIdx.x * blockDim.x + threadIdx.x;
+    int yIndex = blockIdx.y * blockDim.y + threadIdx.y;
+    if (xIndex < width && yIndex < height) {
+        int index_in = yIndex * width + xIndex;
+        block[threadIdx.y][threadIdx.x] = idata[index_in];
+    }
+    __syncthreads();
+
+    xIndex = blockIdx.y * blockDim.y + threadIdx.x;
+    yIndex = blockIdx.x * blockDim.x + threadIdx.y;
+    if (xIndex < height && yIndex < width) {
+        int index_out = yIndex * height + xIndex + 1;
+        odata[index_out] = block[threadIdx.x][threadIdx.y];
+    }
+}
+"#;
+
+/// Seeded bug (Table III class 2): the tile read swaps the wrong indices —
+/// "modifying the guards of conditional statements" / access pattern.
+pub const BUGGY_GUARD: &str = r#"
+__global__ void buggyGuardTranspose(int *odata, int *idata, int width, int height) {
+    requires(width > 0 && height > 0);
+    requires((width * height) / height == width);
+    requires(blockDim.x <= 15 && blockDim.y <= 15 && blockDim.z == 1);
+    requires((gridDim.x * blockDim.x) / blockDim.x == gridDim.x);
+    requires((gridDim.y * blockDim.y) / blockDim.y == gridDim.y);
+    requires(gridDim.x * blockDim.x <= 100 && gridDim.y * blockDim.y <= 100);
+    __shared__ int block[blockDim.x][blockDim.x + 1];
+
+    int xIndex = blockIdx.x * blockDim.x + threadIdx.x;
+    int yIndex = blockIdx.y * blockDim.y + threadIdx.y;
+    if (xIndex < width && yIndex < height) {
+        int index_in = yIndex * width + xIndex;
+        block[threadIdx.y][threadIdx.x] = idata[index_in];
+    }
+    __syncthreads();
+
+    xIndex = blockIdx.y * blockDim.y + threadIdx.x;
+    yIndex = blockIdx.x * blockDim.x + threadIdx.y;
+    if (xIndex < width && yIndex < height) {
+        int index_out = yIndex * height + xIndex;
+        odata[index_out] = block[threadIdx.x][threadIdx.y];
+    }
+}
+"#;

@@ -1,0 +1,36 @@
+//! Vector addition — the quickstart kernel: the simplest coalesced,
+//! race-free, loop-free kernel, with a seeded off-by-one bug variant.
+
+/// `c[i] = a[i] + b[i]` for every covered element.
+pub const KERNEL: &str = r#"
+__global__ void vectorAdd(int *c, int *a, int *b, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}
+"#;
+
+/// With the elementwise post-condition.
+pub const WITH_POSTCOND: &str = r#"
+__global__ void vectorAdd(int *c, int *a, int *b, int n) {
+    requires(n <= gridDim.x * blockDim.x);
+    requires(gridDim.x * blockDim.x >= gridDim.x);
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+    int j;
+    postcond(0 <= j && j < n => c[j] == a[j] + b[j]);
+}
+"#;
+
+/// Seeded bug: reads `b[i + 1]` — an address bug.
+pub const BUGGY: &str = r#"
+__global__ void vectorAddBuggy(int *c, int *a, int *b, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        c[i] = a[i] + b[i + 1];
+    }
+}
+"#;

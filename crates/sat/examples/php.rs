@@ -1,0 +1,22 @@
+use pug_sat::{Budget, SolveResult, Solver, Var, Lit};
+fn main() {
+    for holes in 2..=5usize {
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> =
+            (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for i in 0..pigeons {
+                for j in (i + 1)..pigeons {
+                    s.add_clause(&[p[i][h].neg(), p[j][h].neg()]);
+                }
+            }
+        }
+        let r = s.solve(&Budget::unlimited());
+        println!("PHP({pigeons},{holes}) = {:?} stats={:?}", r, s.stats());
+    }
+}

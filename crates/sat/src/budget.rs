@@ -1,0 +1,85 @@
+//! Resource budgets: the verifier's analogue of the paper's five-minute
+//! SMT timeout ("T.O" in Tables II/III).
+
+use std::time::{Duration, Instant};
+
+/// Limits on a single `solve` call. Exceeding any limit yields
+/// [`crate::SolveResult::Unknown`].
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Maximum number of conflicts, if any.
+    pub max_conflicts: Option<u64>,
+    /// Maximum number of unit propagations, if any.
+    pub max_propagations: Option<u64>,
+    /// Wall-clock deadline, if any.
+    pub deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// No limits: run to completion.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Wall-clock limit measured from now.
+    pub fn with_timeout(timeout: Duration) -> Budget {
+        Budget { deadline: Some(Instant::now() + timeout), ..Budget::default() }
+    }
+
+    /// Conflict-count limit.
+    pub fn with_conflicts(max: u64) -> Budget {
+        Budget { max_conflicts: Some(max), ..Budget::default() }
+    }
+
+    /// Add a wall-clock limit to an existing budget.
+    pub fn and_timeout(mut self, timeout: Duration) -> Budget {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// True when the counters exceed any configured limit.
+    /// The deadline is only consulted here, so callers should invoke this at a
+    /// coarse cadence (e.g. per conflict) to keep `Instant::now` off hot paths.
+    pub fn exhausted(&self, conflicts: u64, propagations: u64) -> bool {
+        if let Some(m) = self.max_conflicts {
+            if conflicts >= m {
+                return true;
+            }
+        }
+        if let Some(m) = self.max_propagations {
+            if propagations >= m {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(!b.exhausted(u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn conflict_limit() {
+        let b = Budget::with_conflicts(10);
+        assert!(!b.exhausted(9, 0));
+        assert!(b.exhausted(10, 0));
+    }
+
+    #[test]
+    fn deadline_in_past_exhausts() {
+        let b = Budget { deadline: Some(Instant::now() - Duration::from_secs(1)), ..Budget::default() };
+        assert!(b.exhausted(0, 0));
+    }
+}

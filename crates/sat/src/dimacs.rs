@@ -1,0 +1,125 @@
+//! DIMACS CNF parsing and printing — used by tests and the solver benches.
+
+use crate::types::{Lit, Var};
+
+/// A CNF formula in DIMACS form.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (variables are `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Parse DIMACS text. Accepts comments (`c …`) and a `p cnf V C` header;
+    /// the header is optional (variable count is then inferred).
+    pub fn parse(text: &str) -> Result<Cnf, String> {
+        let mut cnf = Cnf::default();
+        let mut current: Vec<Lit> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let mut it = rest.split_whitespace();
+                match it.next() {
+                    Some("cnf") => {}
+                    other => return Err(format!("unsupported problem type {other:?}")),
+                }
+                cnf.num_vars = it
+                    .next()
+                    .ok_or("missing variable count")?
+                    .parse::<usize>()
+                    .map_err(|e| e.to_string())?;
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let n: i64 = tok.parse().map_err(|e| format!("bad literal {tok:?}: {e}"))?;
+                if n == 0 {
+                    cnf.clauses.push(std::mem::take(&mut current));
+                } else {
+                    let var = Var((n.unsigned_abs() - 1) as u32);
+                    cnf.num_vars = cnf.num_vars.max(var.index() + 1);
+                    current.push(Lit::new(var, n > 0));
+                }
+            }
+        }
+        if !current.is_empty() {
+            cnf.clauses.push(current);
+        }
+        Ok(cnf)
+    }
+
+    /// Render as DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for &l in c {
+                let n = (l.var().0 + 1) as i64;
+                if l.is_positive() {
+                    out.push_str(&n.to_string());
+                } else {
+                    out.push_str(&(-n).to_string());
+                }
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Load this CNF into a solver, allocating its variables.
+    pub fn load(&self, solver: &mut crate::Solver) -> bool {
+        while solver.num_vars() < self.num_vars {
+            solver.new_var();
+        }
+        for c in &self.clauses {
+            if !solver.add_clause(c) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluate under a full assignment (`assignment[v]` = value of var v).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter().any(|l| assignment[l.var().index()] == l.is_positive())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Budget, SolveResult, Solver};
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = Cnf::parse(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let again = Cnf::parse(&cnf.to_dimacs()).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn parse_without_header() {
+        let cnf = Cnf::parse("1 2 0\n-1 0").unwrap();
+        assert_eq!(cnf.num_vars, 2);
+        assert_eq!(cnf.clauses.len(), 2);
+    }
+
+    #[test]
+    fn solve_loaded_cnf() {
+        let cnf = Cnf::parse("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        let mut s = Solver::new();
+        assert!(cnf.load(&mut s));
+        assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Sat);
+        let assignment: Vec<bool> = (0..2).map(|i| s.model_value(Var(i))).collect();
+        assert!(cnf.eval(&assignment));
+    }
+}

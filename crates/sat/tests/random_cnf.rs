@@ -1,0 +1,150 @@
+//! Differential testing of the CDCL solver against exhaustive enumeration on
+//! random CNF instances, plus structured hard families.
+
+use pug_sat::{Budget, Cnf, Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exhaustively decide satisfiability of a small CNF.
+fn brute_force(cnf: &Cnf) -> bool {
+    assert!(cnf.num_vars <= 20);
+    (0u32..1 << cnf.num_vars).any(|bits| {
+        let assignment: Vec<bool> = (0..cnf.num_vars).map(|i| bits >> i & 1 == 1).collect();
+        cnf.eval(&assignment)
+    })
+}
+
+fn solve(cnf: &Cnf) -> SolveResult {
+    let mut s = Solver::new();
+    if !cnf.load(&mut s) {
+        return SolveResult::Unsat;
+    }
+    let r = s.solve(&Budget::unlimited());
+    if r == SolveResult::Sat {
+        // Verify the model actually satisfies the formula.
+        let assignment: Vec<bool> =
+            (0..cnf.num_vars).map(|i| s.model_value(Var(i as u32))).collect();
+        assert!(cnf.eval(&assignment), "solver returned a non-model");
+    }
+    r
+}
+
+fn random_cnf(rng: &mut StdRng, num_vars: usize, num_clauses: usize, width: usize) -> Cnf {
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let len = rng.gen_range(1..=width);
+            (0..len)
+                .map(|_| Lit::new(Var(rng.gen_range(0..num_vars) as u32), rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect();
+    Cnf { num_vars, clauses }
+}
+
+#[test]
+fn differential_random_3sat() {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    for round in 0..500 {
+        let nv = rng.gen_range(1..=10);
+        let nc = rng.gen_range(1..=45);
+        let cnf = random_cnf(&mut rng, nv, nc, 3);
+        let expect = brute_force(&cnf);
+        let got = solve(&cnf) == SolveResult::Sat;
+        assert_eq!(got, expect, "round {round}: mismatch on\n{}", cnf.to_dimacs());
+    }
+}
+
+#[test]
+fn differential_wide_clauses() {
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    for round in 0..200 {
+        let nv = rng.gen_range(2..=12);
+        let nc = rng.gen_range(1..=60);
+        let cnf = random_cnf(&mut rng, nv, nc, 6);
+        let expect = brute_force(&cnf);
+        let got = solve(&cnf) == SolveResult::Sat;
+        assert_eq!(got, expect, "round {round}: mismatch on\n{}", cnf.to_dimacs());
+    }
+}
+
+#[test]
+fn incremental_assumptions_match_clause_addition() {
+    // Solving F under assumption l must agree with solving F ∧ {l}.
+    let mut rng = StdRng::seed_from_u64(0xabcd);
+    for _ in 0..200 {
+        let nv = rng.gen_range(2..=8);
+        let nc = rng.gen_range(1..=30);
+        let cnf = random_cnf(&mut rng, nv, nc, 3);
+        let a = Lit::new(Var(rng.gen_range(0..nv) as u32), rng.gen_bool(0.5));
+
+        let mut inc = Solver::new();
+        let ok = cnf.load(&mut inc);
+        let under_assumption = if ok {
+            inc.solve_with(&[a], &Budget::unlimited())
+        } else {
+            SolveResult::Unsat
+        };
+
+        let mut mono = Cnf { num_vars: cnf.num_vars, clauses: cnf.clauses.clone() };
+        mono.clauses.push(vec![a]);
+        let with_clause = solve(&mono);
+        assert_eq!(under_assumption, with_clause, "cnf:\n{}\nassumption {a:?}", cnf.to_dimacs());
+    }
+}
+
+#[test]
+fn solver_reuse_across_calls() {
+    // The solver stays usable and consistent across many solve calls with
+    // interleaved clause additions (the SMT layer relies on this).
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+    assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Sat);
+    s.add_clause(&[vars[0].pos(), vars[1].pos()]);
+    assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Sat);
+    s.add_clause(&[vars[0].neg()]);
+    assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Sat);
+    assert!(s.model_value(vars[1]));
+    s.add_clause(&[vars[1].neg()]);
+    assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Unsat);
+}
+
+#[test]
+fn pigeonhole_family_unsat() {
+    for holes in 2..=5usize {
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> =
+            (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for i in 0..pigeons {
+                for j in (i + 1)..pigeons {
+                    s.add_clause(&[p[i][h].neg(), p[j][h].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Unsat, "PHP({pigeons},{holes})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The solver agrees with brute force on arbitrary small CNFs.
+    #[test]
+    fn prop_matches_brute_force(
+        nv in 1usize..8,
+        raw in prop::collection::vec(prop::collection::vec((0u32..8, any::<bool>()), 1..4), 0..25),
+    ) {
+        let clauses: Vec<Vec<Lit>> = raw
+            .iter()
+            .map(|c| c.iter().map(|&(v, pos)| Lit::new(Var(v % nv as u32), pos)).collect())
+            .collect();
+        let cnf = Cnf { num_vars: nv, clauses };
+        prop_assert_eq!(solve(&cnf) == SolveResult::Sat, brute_force(&cnf));
+    }
+}

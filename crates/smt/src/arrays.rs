@@ -1,0 +1,203 @@
+//! Array elimination: store-chain reduction followed by Ackermann expansion.
+//!
+//! PUGpara's verification conditions mention arrays in two ways: symbolic
+//! input arrays (`idata`, …) that are *only read*, and output arrays built by
+//! chains of `store`s (one per serialized thread in the non-parameterized
+//! encoding, one per conditional assignment in the parameterized one).
+//!
+//! This pass rewrites
+//!
+//! ```text
+//! select(store(a, i, v), j)  →  ite(i = j, v, select(a, j))
+//! ```
+//!
+//! until every `select` sits on a base array variable, replaces each distinct
+//! `select(A, i)` by a fresh bit-vector variable, and adds the Ackermann
+//! congruence constraints `i_m = i_n ⇒ v_m = v_n` for every pair of reads of
+//! the same base array. The result is a pure QF_BV problem for the
+//! bit-blaster, plus enough bookkeeping to reconstruct array values in
+//! counterexample models.
+
+use crate::term::{Ctx, Op, TermId};
+use std::collections::HashMap;
+
+/// Result of array elimination.
+pub struct ArrayReduction {
+    /// The rewritten, array-free assertions (Ackermann constraints included).
+    pub assertions: Vec<TermId>,
+    /// Per base array variable: the (index term, fresh value variable) pairs
+    /// introduced for its reads. Index terms are array-free.
+    pub base_selects: HashMap<TermId, Vec<(TermId, TermId)>>,
+}
+
+/// Eliminate arrays from `assertions` (see module docs).
+pub fn reduce_arrays(ctx: &mut Ctx, assertions: &[TermId]) -> ArrayReduction {
+    let mut pass = Pass { cache: HashMap::new(), select_vars: HashMap::new(), base_selects: HashMap::new() };
+    let mut out: Vec<TermId> = assertions.iter().map(|&t| pass.transform(ctx, t)).collect();
+
+    // Ackermann congruence for every pair of reads of the same base array.
+    for reads in pass.base_selects.values() {
+        for m in 0..reads.len() {
+            for n in (m + 1)..reads.len() {
+                let (im, vm) = reads[m];
+                let (in_, vn) = reads[n];
+                let idx_eq = ctx.mk_eq(im, in_);
+                let val_eq = ctx.mk_eq(vm, vn);
+                let c = ctx.mk_implies(idx_eq, val_eq);
+                if ctx.const_bool(c) != Some(true) {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    ArrayReduction { assertions: out, base_selects: pass.base_selects }
+}
+
+struct Pass {
+    cache: HashMap<TermId, TermId>,
+    /// Memo: (base array, index) → fresh value variable.
+    select_vars: HashMap<(TermId, TermId), TermId>,
+    base_selects: HashMap<TermId, Vec<(TermId, TermId)>>,
+}
+
+impl Pass {
+    fn transform(&mut self, ctx: &mut Ctx, t: TermId) -> TermId {
+        if let Some(&r) = self.cache.get(&t) {
+            return r;
+        }
+        let node = ctx.node(t).clone();
+        let result = match node.op {
+            Op::Select => {
+                let idx = self.transform(ctx, node.args[1]);
+                self.expand_select(ctx, node.args[0], idx)
+            }
+            Op::Store => {
+                unreachable!("store outside a select reached the array pass")
+            }
+            _ => {
+                let mut args = Vec::with_capacity(node.args.len());
+                let mut changed = false;
+                for &a in &node.args {
+                    let na = self.transform(ctx, a);
+                    changed |= na != a;
+                    args.push(na);
+                }
+                if changed {
+                    ctx.rebuild(&node.op, &args)
+                } else {
+                    t
+                }
+            }
+        };
+        self.cache.insert(t, result);
+        result
+    }
+
+    /// Resolve `select(array, idx)` where `idx` is already array-free.
+    fn expand_select(&mut self, ctx: &mut Ctx, array: TermId, idx: TermId) -> TermId {
+        match ctx.op(array).clone() {
+            Op::Store => {
+                let (base, i, v) = {
+                    let a = ctx.args(array);
+                    (a[0], a[1], a[2])
+                };
+                let i = self.transform(ctx, i);
+                let v = self.transform(ctx, v);
+                let cond = ctx.mk_eq(idx, i);
+                // Short-circuit on syntactic (dis)equality folded by mk_eq.
+                match ctx.const_bool(cond) {
+                    Some(true) => v,
+                    Some(false) => self.expand_select(ctx, base, idx),
+                    None => {
+                        let els = self.expand_select(ctx, base, idx);
+                        ctx.mk_ite(cond, v, els)
+                    }
+                }
+            }
+            Op::Var { .. } => {
+                if let Some(&var) = self.select_vars.get(&(array, idx)) {
+                    return var;
+                }
+                let crate::sort::Sort::Array { elem, .. } = ctx.sort(array) else {
+                    unreachable!("select base is not array-sorted");
+                };
+                let var = ctx.fresh_var("sel", crate::sort::Sort::BitVec(elem));
+                self.select_vars.insert((array, idx), var);
+                self.base_selects.entry(array).or_default().push((idx, var));
+                var
+            }
+            Op::Ite => {
+                // ite over arrays is rejected by Ctx, so this is unreachable,
+                // but keep a clear panic in case the invariant ever changes.
+                unreachable!("ite over arrays is not supported")
+            }
+            op => unreachable!("unexpected array operator {op:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+
+    fn setup() -> (Ctx, TermId, TermId) {
+        let mut c = Ctx::new();
+        let arr = c.mk_var("A", Sort::Array { index: 8, elem: 8 });
+        let k = c.mk_var("k", Sort::BitVec(8));
+        (c, arr, k)
+    }
+
+    #[test]
+    fn store_chain_becomes_ite() {
+        let (mut c, arr, k) = setup();
+        let i0 = c.mk_bv_const(0, 8);
+        let i1 = c.mk_bv_const(1, 8);
+        let v0 = c.mk_var("v0", Sort::BitVec(8));
+        let v1 = c.mk_var("v1", Sort::BitVec(8));
+        let s1 = c.mk_store(arr, i0, v0);
+        let s2 = c.mk_store(s1, i1, v1);
+        let read = c.mk_select(s2, k);
+        let zero = c.mk_bv_const(0, 8);
+        let assertion = c.mk_eq(read, zero);
+        let red = reduce_arrays(&mut c, &[assertion]);
+        // one read of the base array (at k), store chain resolved into ite
+        assert_eq!(red.base_selects[&arr].len(), 1);
+        // no Select/Store ops remain anywhere in the output
+        for &a in &red.assertions {
+            let mut stack = vec![a];
+            while let Some(t) = stack.pop() {
+                assert!(
+                    !matches!(c.op(t), Op::Select | Op::Store),
+                    "array op survived reduction"
+                );
+                stack.extend_from_slice(c.args(t));
+            }
+        }
+    }
+
+    #[test]
+    fn ackermann_constraints_added() {
+        let (mut c, arr, k) = setup();
+        let j = c.mk_var("j", Sort::BitVec(8));
+        let r1 = c.mk_select(arr, k);
+        let r2 = c.mk_select(arr, j);
+        let a = c.mk_eq(r1, r2);
+        let before = 1;
+        let red = reduce_arrays(&mut c, &[a]);
+        // two reads → one congruence constraint
+        assert_eq!(red.base_selects[&arr].len(), 2);
+        assert_eq!(red.assertions.len(), before + 1);
+    }
+
+    #[test]
+    fn identical_selects_share_one_variable() {
+        let (mut c, arr, k) = setup();
+        let r1 = c.mk_select(arr, k);
+        let r2 = c.mk_select(arr, k);
+        assert_eq!(r1, r2);
+        let a = c.mk_eq(r1, r2); // trivially true
+        let red = reduce_arrays(&mut c, &[a]);
+        assert!(red.base_selects.get(&arr).map_or(true, |v| v.len() <= 1));
+    }
+}

@@ -1,0 +1,257 @@
+//! Concrete term evaluation.
+//!
+//! Used for (1) evaluating terms under a model returned by the solver and
+//! (2) differential testing of the bit-blaster against these reference
+//! semantics.
+
+use crate::sort::{mask, to_signed, truncate, Sort};
+use crate::term::{Ctx, Op, TermId};
+use std::collections::HashMap;
+
+/// A concrete value: Boolean, bit-vector or array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    Bool(bool),
+    /// Bit-vector value (truncated) together with its width.
+    Bv(u64, u32),
+    /// Array value: explicit entries plus a default for unlisted indices.
+    Array { entries: HashMap<u64, u64>, default: u64, index_width: u32, elem_width: u32 },
+}
+
+impl Value {
+    /// The Boolean payload, panicking on other values.
+    #[track_caller]
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected Bool, got {other:?}"),
+        }
+    }
+
+    /// The bit-vector payload, panicking on other values.
+    #[track_caller]
+    pub fn as_bv(&self) -> u64 {
+        match self {
+            Value::Bv(v, _) => *v,
+            other => panic!("expected BitVec, got {other:?}"),
+        }
+    }
+
+    fn array_get(&self, idx: u64) -> u64 {
+        match self {
+            Value::Array { entries, default, .. } => *entries.get(&idx).unwrap_or(default),
+            other => panic!("expected Array, got {other:?}"),
+        }
+    }
+
+    fn array_set(&self, idx: u64, val: u64) -> Value {
+        match self {
+            Value::Array { entries, default, index_width, elem_width } => {
+                let mut e = entries.clone();
+                e.insert(idx, val);
+                Value::Array {
+                    entries: e,
+                    default: *default,
+                    index_width: *index_width,
+                    elem_width: *elem_width,
+                }
+            }
+            other => panic!("expected Array, got {other:?}"),
+        }
+    }
+}
+
+/// An environment mapping variable terms to concrete values.
+pub type Env = HashMap<TermId, Value>;
+
+/// Evaluate `t` under `env`. Panics when a free variable has no binding —
+/// callers are expected to supply complete environments.
+pub fn eval(ctx: &Ctx, t: TermId, env: &Env) -> Value {
+    let mut cache: HashMap<TermId, Value> = HashMap::new();
+    eval_cached(ctx, t, env, &mut cache)
+}
+
+fn eval_cached(ctx: &Ctx, t: TermId, env: &Env, cache: &mut HashMap<TermId, Value>) -> Value {
+    if let Some(v) = cache.get(&t) {
+        return v.clone();
+    }
+    let result = eval_node(ctx, t, env, cache);
+    cache.insert(t, result.clone());
+    result
+}
+
+fn eval_node(ctx: &Ctx, t: TermId, env: &Env, cache: &mut HashMap<TermId, Value>) -> Value {
+    let op = ctx.op(t).clone();
+    let args = ctx.args(t).to_vec();
+    let bv = |cache: &mut HashMap<TermId, Value>, i: usize| -> u64 {
+        eval_cached(ctx, args[i], env, cache).as_bv()
+    };
+    let bl = |cache: &mut HashMap<TermId, Value>, i: usize| -> bool {
+        eval_cached(ctx, args[i], env, cache).as_bool()
+    };
+    let w = match ctx.sort(t) {
+        Sort::BitVec(w) => w,
+        _ => 0,
+    };
+    match op {
+        Op::True => Value::Bool(true),
+        Op::False => Value::Bool(false),
+        Op::BvConst { value, width } => Value::Bv(value, width),
+        Op::Var { .. } => match env.get(&t) {
+            Some(v) => v.clone(),
+            None => panic!("unbound variable {}", crate::smtlib::term_to_string(ctx, t)),
+        },
+        Op::Not => Value::Bool(!bl(cache, 0)),
+        Op::And => Value::Bool(bl(cache, 0) && bl(cache, 1)),
+        Op::Or => Value::Bool(bl(cache, 0) || bl(cache, 1)),
+        Op::Xor => Value::Bool(bl(cache, 0) ^ bl(cache, 1)),
+        Op::Implies => Value::Bool(!bl(cache, 0) || bl(cache, 1)),
+        Op::Ite => {
+            if bl(cache, 0) {
+                eval_cached(ctx, args[1], env, cache)
+            } else {
+                eval_cached(ctx, args[2], env, cache)
+            }
+        }
+        Op::Eq => {
+            let a = eval_cached(ctx, args[0], env, cache);
+            let b = eval_cached(ctx, args[1], env, cache);
+            Value::Bool(a == b)
+        }
+        Op::BvAdd => Value::Bv(truncate(bv(cache, 0).wrapping_add(bv(cache, 1)), w), w),
+        Op::BvSub => Value::Bv(truncate(bv(cache, 0).wrapping_sub(bv(cache, 1)), w), w),
+        Op::BvMul => Value::Bv(truncate(bv(cache, 0).wrapping_mul(bv(cache, 1)), w), w),
+        Op::BvUdiv => {
+            let (a, b) = (bv(cache, 0), bv(cache, 1));
+            Value::Bv(if b == 0 { mask(w) } else { a / b }, w)
+        }
+        Op::BvUrem => {
+            let (a, b) = (bv(cache, 0), bv(cache, 1));
+            Value::Bv(if b == 0 { a } else { a % b }, w)
+        }
+        Op::BvNeg => Value::Bv(truncate(bv(cache, 0).wrapping_neg(), w), w),
+        Op::BvAnd => Value::Bv(bv(cache, 0) & bv(cache, 1), w),
+        Op::BvOr => Value::Bv(bv(cache, 0) | bv(cache, 1), w),
+        Op::BvXor => Value::Bv(bv(cache, 0) ^ bv(cache, 1), w),
+        Op::BvNot => Value::Bv(truncate(!bv(cache, 0), w), w),
+        Op::BvShl => {
+            let (a, s) = (bv(cache, 0), bv(cache, 1));
+            Value::Bv(if s >= w as u64 { 0 } else { truncate(a << s, w) }, w)
+        }
+        Op::BvLshr => {
+            let (a, s) = (bv(cache, 0), bv(cache, 1));
+            Value::Bv(if s >= w as u64 { 0 } else { a >> s }, w)
+        }
+        Op::BvAshr => {
+            let (a, s) = (bv(cache, 0), bv(cache, 1));
+            let aw = ctx.width(ctx.args(t)[0]);
+            let sh = s.min(aw as u64 - 1) as u32;
+            Value::Bv(truncate((to_signed(a, aw) >> sh) as u64, w), w)
+        }
+        Op::BvUlt => Value::Bool(bv(cache, 0) < bv(cache, 1)),
+        Op::BvUle => Value::Bool(bv(cache, 0) <= bv(cache, 1)),
+        Op::BvSlt => {
+            let aw = ctx.width(args[0]);
+            Value::Bool(to_signed(bv(cache, 0), aw) < to_signed(bv(cache, 1), aw))
+        }
+        Op::BvSle => {
+            let aw = ctx.width(args[0]);
+            Value::Bool(to_signed(bv(cache, 0), aw) <= to_signed(bv(cache, 1), aw))
+        }
+        Op::ZeroExt { .. } => Value::Bv(bv(cache, 0), w),
+        Op::SignExt { .. } => {
+            let aw = ctx.width(args[0]);
+            Value::Bv(truncate(to_signed(bv(cache, 0), aw) as u64, w), w)
+        }
+        Op::Extract { hi, lo } => Value::Bv(truncate(bv(cache, 0) >> lo, hi - lo + 1), w),
+        Op::Concat => {
+            let bw = ctx.width(args[1]);
+            Value::Bv(bv(cache, 0) << bw | bv(cache, 1), w)
+        }
+        Op::Select => {
+            let arr = eval_cached(ctx, args[0], env, cache);
+            let idx = bv(cache, 1);
+            Value::Bv(truncate(arr.array_get(idx), w), w)
+        }
+        Op::Store => {
+            let arr = eval_cached(ctx, args[0], env, cache);
+            let idx = bv(cache, 1);
+            let val = bv(cache, 2);
+            arr.array_set(idx, val)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv8(ctx: &mut Ctx, name: &str) -> TermId {
+        ctx.mk_var(name, Sort::BitVec(8))
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        let mut c = Ctx::new();
+        let x = bv8(&mut c, "x");
+        let y = bv8(&mut c, "y");
+        let sum = c.mk_bv_add(x, y);
+        let env = Env::from([(x, Value::Bv(200, 8)), (y, Value::Bv(100, 8))]);
+        assert_eq!(eval(&c, sum, &env), Value::Bv(44, 8));
+    }
+
+    #[test]
+    fn div_by_zero_semantics() {
+        let mut c = Ctx::new();
+        let x = bv8(&mut c, "x");
+        let y = bv8(&mut c, "y");
+        let d = c.mk_bv_udiv(x, y);
+        let r = c.mk_bv_urem(x, y);
+        let env = Env::from([(x, Value::Bv(42, 8)), (y, Value::Bv(0, 8))]);
+        assert_eq!(eval(&c, d, &env), Value::Bv(0xff, 8));
+        assert_eq!(eval(&c, r, &env), Value::Bv(42, 8));
+    }
+
+    #[test]
+    fn array_store_select() {
+        let mut c = Ctx::new();
+        let a = c.mk_var("a", Sort::Array { index: 8, elem: 8 });
+        let i = bv8(&mut c, "i");
+        let v = bv8(&mut c, "v");
+        let j = bv8(&mut c, "j");
+        let stored = c.mk_store(a, i, v);
+        let read = c.mk_select(stored, j);
+        let arr = Value::Array {
+            entries: HashMap::from([(3, 7)]),
+            default: 0,
+            index_width: 8,
+            elem_width: 8,
+        };
+        // j == i: sees the stored value
+        let env = Env::from([
+            (a, arr.clone()),
+            (i, Value::Bv(5, 8)),
+            (v, Value::Bv(9, 8)),
+            (j, Value::Bv(5, 8)),
+        ]);
+        assert_eq!(eval(&c, read, &env), Value::Bv(9, 8));
+        // j != i: sees the original array
+        let env2 = Env::from([
+            (a, arr),
+            (i, Value::Bv(5, 8)),
+            (v, Value::Bv(9, 8)),
+            (j, Value::Bv(3, 8)),
+        ]);
+        assert_eq!(eval(&c, read, &env2), Value::Bv(7, 8));
+    }
+
+    #[test]
+    fn signed_comparison() {
+        let mut c = Ctx::new();
+        let x = bv8(&mut c, "x");
+        let y = bv8(&mut c, "y");
+        let slt = c.mk_bv_slt(x, y);
+        let env = Env::from([(x, Value::Bv(0xff, 8)), (y, Value::Bv(1, 8))]); // -1 < 1
+        assert_eq!(eval(&c, slt, &env), Value::Bool(true));
+    }
+}

@@ -1,0 +1,96 @@
+//! Counterexample models.
+
+use crate::eval::{eval, Env, Value};
+use crate::term::{Ctx, Op, TermId};
+use std::fmt::Write;
+
+/// A satisfying assignment for the free variables of a query, including
+/// reconstructed array values. Used by the verifier to print bug witnesses
+/// (thread ids, configuration values and input elements).
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    values: Env,
+}
+
+impl Model {
+    pub(crate) fn new(values: Env) -> Model {
+        Model { values }
+    }
+
+    /// Raw value of a variable term, if the model constrains it.
+    pub fn get(&self, var: TermId) -> Option<&Value> {
+        self.values.get(&var)
+    }
+
+    /// Evaluate an arbitrary term of the original query under this model.
+    /// Unbound variables default to zero/false/empty-array, which is a valid
+    /// completion because the solver left them unconstrained.
+    pub fn eval(&self, ctx: &Ctx, t: TermId) -> Value {
+        let mut env = self.values.clone();
+        for v in ctx.free_vars(t) {
+            env.entry(v).or_insert_with(|| default_value(ctx, v));
+        }
+        eval(ctx, t, &env)
+    }
+
+    /// Evaluate a term expected to be a bit-vector, returning its value.
+    pub fn eval_bv(&self, ctx: &Ctx, t: TermId) -> u64 {
+        self.eval(ctx, t).as_bv()
+    }
+
+    /// Evaluate a term expected to be Boolean.
+    pub fn eval_bool(&self, ctx: &Ctx, t: TermId) -> bool {
+        self.eval(ctx, t).as_bool()
+    }
+
+    /// Iterate over (variable term, value) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&TermId, &Value)> {
+        self.values.iter()
+    }
+
+    /// Human-readable rendering, sorted by variable name.
+    pub fn render(&self, ctx: &Ctx) -> String {
+        let mut lines: Vec<String> = self
+            .values
+            .iter()
+            .map(|(&t, v)| {
+                let name = match ctx.op(t) {
+                    Op::Var { name } => ctx.symbol_name(*name).to_string(),
+                    _ => format!("{t:?}"),
+                };
+                match v {
+                    Value::Bool(b) => format!("  {name} = {b}"),
+                    Value::Bv(x, w) => format!("  {name} = {x} [{w}b]"),
+                    Value::Array { entries, default, .. } => {
+                        let mut es: Vec<(&u64, &u64)> = entries.iter().collect();
+                        es.sort();
+                        let mut s = format!("  {name} = [");
+                        for (i, (k, v)) in es.iter().enumerate() {
+                            if i > 0 {
+                                s.push_str(", ");
+                            }
+                            let _ = write!(s, "{k}→{v}");
+                        }
+                        let _ = write!(s, "; else {default}]");
+                        s
+                    }
+                }
+            })
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+pub(crate) fn default_value(ctx: &Ctx, v: TermId) -> Value {
+    match ctx.sort(v) {
+        crate::sort::Sort::Bool => Value::Bool(false),
+        crate::sort::Sort::BitVec(w) => Value::Bv(0, w),
+        crate::sort::Sort::Array { index, elem } => Value::Array {
+            entries: Default::default(),
+            default: 0,
+            index_width: index,
+            elem_width: elem,
+        },
+    }
+}

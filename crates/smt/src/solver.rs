@@ -1,0 +1,290 @@
+//! The check pipeline: rewrite → array elimination → bit-blast → CDCL.
+
+use crate::arrays::reduce_arrays;
+use crate::bitblast::BitBlaster;
+use crate::eval::{Env, Value};
+use crate::model::{default_value, Model};
+use crate::sort::Sort;
+use crate::term::{Ctx, TermId};
+pub use pug_sat::Budget;
+use pug_sat::{SolveResult, Solver};
+
+/// Outcome of an SMT query.
+#[derive(Clone, Debug)]
+pub enum SmtResult {
+    /// Satisfiable, with a model of the free variables.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// Budget exhausted — surfaced as "T.O" by the benchmark harness.
+    Unknown,
+}
+
+impl SmtResult {
+    /// True for [`SmtResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+
+    /// True for [`SmtResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SmtResult::Unsat)
+    }
+
+    /// True for [`SmtResult::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SmtResult::Unknown)
+    }
+}
+
+/// Size/effort statistics for one `check` call, reported by the benchmark
+/// harness alongside times (the paper reports only times; the clause counts
+/// make the blow-up of the non-parameterized encoding visible directly).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckStats {
+    /// CNF variables after bit-blasting.
+    pub cnf_vars: usize,
+    /// CNF clauses after bit-blasting.
+    pub cnf_clauses: usize,
+    /// Assertions after array elimination (incl. Ackermann constraints).
+    pub reduced_assertions: usize,
+    /// SAT-solver statistics.
+    pub sat: pug_sat::Stats,
+}
+
+/// Decide satisfiability of the conjunction of `assertions`.
+pub fn check(ctx: &mut Ctx, assertions: &[TermId], budget: &Budget) -> SmtResult {
+    check_detailed(ctx, assertions, budget).0
+}
+
+/// [`check`] plus encoding statistics.
+pub fn check_detailed(
+    ctx: &mut Ctx,
+    assertions: &[TermId],
+    budget: &Budget,
+) -> (SmtResult, CheckStats) {
+    let mut stats = CheckStats::default();
+
+    // Trivial cases after constructor-level rewriting.
+    let mut live: Vec<TermId> = Vec::new();
+    for &a in assertions {
+        match ctx.const_bool(a) {
+            Some(true) => continue,
+            Some(false) => return (SmtResult::Unsat, stats),
+            None => live.push(a),
+        }
+    }
+    if live.is_empty() {
+        return (SmtResult::Sat(Model::new(Env::new())), stats);
+    }
+
+    let reduction = reduce_arrays(ctx, &live);
+    stats.reduced_assertions = reduction.assertions.len();
+
+    let mut sat = Solver::new();
+    let mut blaster = BitBlaster::new(&mut sat);
+    for &a in &reduction.assertions {
+        match ctx.const_bool(a) {
+            Some(true) => continue,
+            Some(false) => return (SmtResult::Unsat, stats),
+            None => blaster.assert_term(ctx, &mut sat, a),
+        }
+    }
+    stats.cnf_vars = sat.num_vars();
+    stats.cnf_clauses = sat.num_clauses();
+
+    let result = sat.solve(budget);
+    stats.sat = sat.stats();
+    let r = match result {
+        SolveResult::Unsat => SmtResult::Unsat,
+        SolveResult::Unknown => SmtResult::Unknown,
+        SolveResult::Sat => {
+            let model = build_model(ctx, &live, &reduction, &blaster, &sat);
+            #[cfg(debug_assertions)]
+            for &a in &live {
+                debug_assert!(
+                    model.eval_bool(ctx, a),
+                    "model does not satisfy assertion: {}",
+                    crate::smtlib::term_to_string(ctx, a)
+                );
+            }
+            SmtResult::Sat(model)
+        }
+    };
+    (r, stats)
+}
+
+fn build_model(
+    ctx: &Ctx,
+    original: &[TermId],
+    reduction: &crate::arrays::ArrayReduction,
+    blaster: &BitBlaster,
+    sat: &Solver,
+) -> Model {
+    let mut env = Env::new();
+
+    // Scalar variables: everything free in the reduced assertions, plus any
+    // scalar free in the original assertions (possibly simplified away —
+    // those are unconstrained and default to zero).
+    let mut scalars: Vec<TermId> = Vec::new();
+    for &a in &reduction.assertions {
+        scalars.extend(ctx.free_vars(a));
+    }
+    for &a in original {
+        scalars.extend(ctx.free_vars(a));
+    }
+    for reads in reduction.base_selects.values() {
+        for &(idx, val) in reads {
+            scalars.extend(ctx.free_vars(idx));
+            scalars.push(val);
+        }
+    }
+    scalars.sort();
+    scalars.dedup();
+    for v in scalars {
+        match ctx.sort(v) {
+            Sort::Bool => {
+                env.insert(v, Value::Bool(blaster.model_bool(sat, v)));
+            }
+            Sort::BitVec(w) => {
+                env.insert(v, Value::Bv(blaster.model_bv(sat, v), w));
+            }
+            Sort::Array { .. } => {} // handled below
+        }
+    }
+
+    // Array variables: reconstruct entries from the Ackermann reads.
+    for (&arr, reads) in &reduction.base_selects {
+        let Sort::Array { index, elem } = ctx.sort(arr) else { unreachable!() };
+        let mut entries = std::collections::HashMap::new();
+        for &(idx, val) in reads {
+            let i = crate::eval::eval(ctx, idx, &env).as_bv();
+            let v = env.get(&val).map(|v| v.as_bv()).unwrap_or(0);
+            entries.insert(i, v);
+        }
+        env.insert(
+            arr,
+            Value::Array { entries, default: 0, index_width: index, elem_width: elem },
+        );
+    }
+
+    // Arrays mentioned in the original assertions but never read after
+    // reduction get an empty default interpretation.
+    for &a in original {
+        for v in ctx.free_vars(a) {
+            if ctx.sort(v).is_array() {
+                env.entry(v).or_insert_with(|| default_value(ctx, v));
+            }
+        }
+    }
+
+    // Drop internal fresh select variables from the reported model: they are
+    // folded into the array interpretations.
+    let internal: std::collections::HashSet<TermId> = reduction
+        .base_selects
+        .values()
+        .flat_map(|reads| reads.iter().map(|&(_, val)| val))
+        .collect();
+    env.retain(|t, _| !internal.contains(t));
+
+    Model::new(env)
+}
+
+/// Convenience wrapper asserting the negation of `goal` under `premises`:
+/// returns `Unsat` when the implication `premises ⇒ goal` is valid, or a
+/// countermodel when it is not. This is the shape of every PUGpara
+/// verification condition.
+pub fn check_valid(
+    ctx: &mut Ctx,
+    premises: &[TermId],
+    goal: TermId,
+    budget: &Budget,
+) -> SmtResult {
+    let mut asserts = premises.to_vec();
+    let ng = ctx.mk_not(goal);
+    asserts.push(ng);
+    check(ctx, &asserts, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Ctx {
+        Ctx::new()
+    }
+
+    #[test]
+    fn trivially_true_is_sat() {
+        let mut c = ctx();
+        let t = c.mk_true();
+        assert!(check(&mut c, &[t], &Budget::unlimited()).is_sat());
+        assert!(check(&mut c, &[], &Budget::unlimited()).is_sat());
+    }
+
+    #[test]
+    fn trivially_false_is_unsat() {
+        let mut c = ctx();
+        let f = c.mk_false();
+        assert!(check(&mut c, &[f], &Budget::unlimited()).is_unsat());
+    }
+
+    #[test]
+    fn simple_bv_equation() {
+        let mut c = ctx();
+        let x = c.mk_var("x", Sort::BitVec(8));
+        let five = c.mk_bv_const(5, 8);
+        let three = c.mk_bv_const(3, 8);
+        let sum = c.mk_bv_add(x, three);
+        let eq = c.mk_eq(sum, five);
+        match check(&mut c, &[eq], &Budget::unlimited()) {
+            SmtResult::Sat(m) => assert_eq!(m.eval_bv(&c, x), 2),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_bv_constraint() {
+        let mut c = ctx();
+        let x = c.mk_var("x", Sort::BitVec(8));
+        let zero = c.mk_bv_const(0, 8);
+        let lt = c.mk_bv_ult(x, zero); // nothing is < 0
+        assert!(check(&mut c, &[lt], &Budget::unlimited()).is_unsat());
+    }
+
+    #[test]
+    fn array_roundtrip_model() {
+        let mut c = ctx();
+        let a = c.mk_var("A", Sort::Array { index: 8, elem: 8 });
+        let i = c.mk_var("i", Sort::BitVec(8));
+        let read = c.mk_select(a, i);
+        let seven = c.mk_bv_const(7, 8);
+        let eq = c.mk_eq(read, seven);
+        match check(&mut c, &[eq], &Budget::unlimited()) {
+            SmtResult::Sat(m) => {
+                // Evaluating the original select under the model yields 7.
+                assert_eq!(m.eval_bv(&c, read), 7);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_valid_proves_commutativity() {
+        let mut c = ctx();
+        let x = c.mk_var("x", Sort::BitVec(8));
+        let y = c.mk_var("y", Sort::BitVec(8));
+        // (x + y) * (x + y) == x*x + 2xy + y*y  (mod 256)
+        let s = c.mk_bv_add(x, y);
+        let lhs = c.mk_bv_mul(s, s);
+        let xx = c.mk_bv_mul(x, x);
+        let xy = c.mk_bv_mul(x, y);
+        let two = c.mk_bv_const(2, 8);
+        let xy2 = c.mk_bv_mul(two, xy);
+        let yy = c.mk_bv_mul(y, y);
+        let t1 = c.mk_bv_add(xx, xy2);
+        let rhs = c.mk_bv_add(t1, yy);
+        let goal = c.mk_eq(lhs, rhs);
+        assert!(check_valid(&mut c, &[], goal, &Budget::unlimited()).is_unsat());
+    }
+}

@@ -1,0 +1,111 @@
+//! Sorts of the QF_ABV fragment the verifier emits.
+
+use std::fmt;
+
+/// The sort (type) of a term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sort {
+    /// Propositional.
+    Bool,
+    /// Fixed-width bit-vector; widths 1..=64 are supported.
+    BitVec(u32),
+    /// Array from `BitVec(index)` to `BitVec(elem)`. PUGpara models every
+    /// shared/global memory as such a map (the paper works over Z3's
+    /// bit-vector arrays the same way).
+    Array { index: u32, elem: u32 },
+}
+
+impl Sort {
+    /// Bit-vector width, panicking on non-bit-vector sorts.
+    #[track_caller]
+    pub fn bv_width(self) -> u32 {
+        match self {
+            Sort::BitVec(w) => w,
+            other => panic!("expected a bit-vector sort, got {other:?}"),
+        }
+    }
+
+    /// True for [`Sort::Bool`].
+    pub fn is_bool(self) -> bool {
+        self == Sort::Bool
+    }
+
+    /// True for [`Sort::BitVec`].
+    pub fn is_bv(self) -> bool {
+        matches!(self, Sort::BitVec(_))
+    }
+
+    /// True for [`Sort::Array`].
+    pub fn is_array(self) -> bool {
+        matches!(self, Sort::Array { .. })
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::BitVec(w) => write!(f, "(_ BitVec {w})"),
+            Sort::Array { index, elem } => {
+                write!(f, "(Array (_ BitVec {index}) (_ BitVec {elem}))")
+            }
+        }
+    }
+}
+
+/// Mask selecting the low `w` bits of a `u64`.
+#[inline]
+pub fn mask(w: u32) -> u64 {
+    debug_assert!(w >= 1 && w <= 64);
+    if w == 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+/// Truncate `v` to `w` bits.
+#[inline]
+pub fn truncate(v: u64, w: u32) -> u64 {
+    v & mask(w)
+}
+
+/// Interpret the low `w` bits of `v` as a signed value.
+#[inline]
+pub fn to_signed(v: u64, w: u32) -> i64 {
+    let v = truncate(v, w);
+    if w == 64 {
+        v as i64
+    } else if v >> (w - 1) & 1 == 1 {
+        (v | !mask(w)) as i64
+    } else {
+        v as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xff);
+        assert_eq!(mask(64), u64::MAX);
+        assert_eq!(truncate(0x1ff, 8), 0xff);
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(to_signed(0xff, 8), -1);
+        assert_eq!(to_signed(0x7f, 8), 127);
+        assert_eq!(to_signed(0x80, 8), -128);
+        assert_eq!(to_signed(u64::MAX, 64), -1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Sort::BitVec(16).to_string(), "(_ BitVec 16)");
+        assert_eq!(Sort::Array { index: 8, elem: 8 }.to_string(), "(Array (_ BitVec 8) (_ BitVec 8))");
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests of the term layer: the simplifying constructors
+//! must preserve semantics, hash-consing must canonicalize, and
+//! substitution must commute with evaluation.
+
+use proptest::prelude::*;
+use pug_smt::{Ctx, Env, Sort, TermId, Value};
+
+/// A small expression AST we can both build as terms and evaluate directly.
+#[derive(Clone, Debug)]
+enum E {
+    Var(u8),
+    Const(u64),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, Box<E>),
+    Lshr(Box<E>, Box<E>),
+    Not(Box<E>),
+    Neg(Box<E>),
+    Ite(Box<E>, Box<E>, Box<E>),
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![(0u8..3).prop_map(E::Var), any::<u64>().prop_map(E::Const)];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shl(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lshr(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Not(Box::new(a))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| E::Ite(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+const W: u32 = 8;
+
+fn build(ctx: &mut Ctx, e: &E) -> TermId {
+    match e {
+        E::Var(i) => ctx.mk_var(&format!("v{i}"), Sort::BitVec(W)),
+        E::Const(c) => ctx.mk_bv_const(*c, W),
+        E::Add(a, b) => {
+            let (x, y) = (build(ctx, a), build(ctx, b));
+            ctx.mk_bv_add(x, y)
+        }
+        E::Sub(a, b) => {
+            let (x, y) = (build(ctx, a), build(ctx, b));
+            ctx.mk_bv_sub(x, y)
+        }
+        E::Mul(a, b) => {
+            let (x, y) = (build(ctx, a), build(ctx, b));
+            ctx.mk_bv_mul(x, y)
+        }
+        E::And(a, b) => {
+            let (x, y) = (build(ctx, a), build(ctx, b));
+            ctx.mk_bv_and(x, y)
+        }
+        E::Or(a, b) => {
+            let (x, y) = (build(ctx, a), build(ctx, b));
+            ctx.mk_bv_or(x, y)
+        }
+        E::Xor(a, b) => {
+            let (x, y) = (build(ctx, a), build(ctx, b));
+            ctx.mk_bv_xor(x, y)
+        }
+        E::Shl(a, b) => {
+            let (x, y) = (build(ctx, a), build(ctx, b));
+            ctx.mk_bv_shl(x, y)
+        }
+        E::Lshr(a, b) => {
+            let (x, y) = (build(ctx, a), build(ctx, b));
+            ctx.mk_bv_lshr(x, y)
+        }
+        E::Not(a) => {
+            let x = build(ctx, a);
+            ctx.mk_bv_not(x)
+        }
+        E::Neg(a) => {
+            let x = build(ctx, a);
+            ctx.mk_bv_neg(x)
+        }
+        E::Ite(c, a, b) => {
+            let cv = build(ctx, c);
+            let zero = ctx.mk_bv_const(0, W);
+            let cond = ctx.mk_neq(cv, zero);
+            let (x, y) = (build(ctx, a), build(ctx, b));
+            ctx.mk_ite(cond, x, y)
+        }
+    }
+}
+
+/// Direct (reference) evaluation of the little AST.
+fn reference(e: &E, vars: &[u64; 3]) -> u64 {
+    let m = |v: u64| v & 0xff;
+    match e {
+        E::Var(i) => vars[*i as usize % 3],
+        E::Const(c) => m(*c),
+        E::Add(a, b) => m(reference(a, vars).wrapping_add(reference(b, vars))),
+        E::Sub(a, b) => m(reference(a, vars).wrapping_sub(reference(b, vars))),
+        E::Mul(a, b) => m(reference(a, vars).wrapping_mul(reference(b, vars))),
+        E::And(a, b) => reference(a, vars) & reference(b, vars),
+        E::Or(a, b) => reference(a, vars) | reference(b, vars),
+        E::Xor(a, b) => reference(a, vars) ^ reference(b, vars),
+        E::Shl(a, b) => {
+            let s = reference(b, vars);
+            if s >= 8 {
+                0
+            } else {
+                m(reference(a, vars) << s)
+            }
+        }
+        E::Lshr(a, b) => {
+            let s = reference(b, vars);
+            if s >= 8 {
+                0
+            } else {
+                reference(a, vars) >> s
+            }
+        }
+        E::Not(a) => m(!reference(a, vars)),
+        E::Neg(a) => m(reference(a, vars).wrapping_neg()),
+        E::Ite(c, a, b) => {
+            if reference(c, vars) != 0 {
+                reference(a, vars)
+            } else {
+                reference(b, vars)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The simplifying constructors preserve concrete semantics.
+    #[test]
+    fn constructors_preserve_semantics(e in arb_expr(), vars in [any::<u64>(); 3]) {
+        let vars = [vars[0] & 0xff, vars[1] & 0xff, vars[2] & 0xff];
+        let mut ctx = Ctx::new();
+        let t = build(&mut ctx, &e);
+        let env: Env = (0..3)
+            .map(|i| {
+                let v = ctx.mk_var(&format!("v{i}"), Sort::BitVec(W));
+                (v, Value::Bv(vars[i], W))
+            })
+            .collect();
+        let got = pug_smt::eval::eval(&ctx, t, &env).as_bv();
+        prop_assert_eq!(got, reference(&e, &vars));
+    }
+
+    /// Hash-consing: building the same expression twice yields one TermId.
+    #[test]
+    fn hash_consing_is_canonical(e in arb_expr()) {
+        let mut ctx = Ctx::new();
+        let a = build(&mut ctx, &e);
+        let b = build(&mut ctx, &e);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Substitution commutes with evaluation: eval(t[x→c]) == eval(t) with
+    /// x bound to c.
+    #[test]
+    fn substitution_commutes_with_eval(e in arb_expr(), vars in [any::<u64>(); 3]) {
+        let vars = [vars[0] & 0xff, vars[1] & 0xff, vars[2] & 0xff];
+        let mut ctx = Ctx::new();
+        let t = build(&mut ctx, &e);
+        // substitute v0 by its constant
+        let v0 = ctx.mk_var("v0", Sort::BitVec(W));
+        let c0 = ctx.mk_bv_const(vars[0], W);
+        let map = std::collections::HashMap::from([(v0, c0)]);
+        let t2 = ctx.substitute(t, &map);
+        let env: Env = (0..3)
+            .map(|i| {
+                let v = ctx.mk_var(&format!("v{i}"), Sort::BitVec(W));
+                (v, Value::Bv(vars[i], W))
+            })
+            .collect();
+        let a = pug_smt::eval::eval(&ctx, t, &env).as_bv();
+        let b = pug_smt::eval::eval(&ctx, t2, &env).as_bv();
+        prop_assert_eq!(a, b);
+    }
+
+    /// dag_size is positive and monotone under wrapping in an operation.
+    #[test]
+    fn dag_size_sane(e in arb_expr()) {
+        let mut ctx = Ctx::new();
+        let t = build(&mut ctx, &e);
+        let n = ctx.dag_size(t);
+        prop_assert!(n >= 1);
+        let one = ctx.mk_bv_const(1, W);
+        let t2 = ctx.mk_bv_add(t, one);
+        // adding a fresh node can only grow (or keep, if simplified) the DAG
+        prop_assert!(ctx.dag_size(t2) + 1 >= n);
+    }
+}

@@ -1,0 +1,55 @@
+//! Fast bug hunting (§IV-D): drop the quantified coverage formulas and run
+//! only the value queries. Any reported bug is real (the encoding
+//! under-approximates the proof, never the bugs); clean runs are not
+//! proofs. This mode is how the paper "locates property violations
+//! quickly".
+//!
+//! ```text
+//! cargo run --release --example bug_hunting
+//! ```
+
+use pugpara::equiv::{check_equivalence_param, CheckOptions, Mode};
+use pugpara::{KernelUnit, Soundness, Verdict};
+use pug_ir::GpuConfig;
+use std::time::Duration;
+
+fn main() {
+    let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+    let buggy = KernelUnit::load(pug_kernels::transpose::BUGGY_ADDR).unwrap();
+    let cfg = GpuConfig::symbolic_2d(8);
+
+    for mode in [Mode::FastBugHunt, Mode::Prove] {
+        let mut opts = CheckOptions::with_timeout(Duration::from_secs(120));
+        opts.mode = mode;
+        let report = check_equivalence_param(&naive, &buggy, &cfg, &opts).unwrap();
+        println!(
+            "{mode:?}: {} queries, {:.3}s SMT time",
+            report.queries.len(),
+            report.solver_time().as_secs_f64()
+        );
+        match &report.verdict {
+            Verdict::Bug(b) => println!("  → {} ({})\n", b.kind, b.detail),
+            other => println!("  → {other}\n"),
+        }
+    }
+
+    // The flip side of fast mode: a *clean* fast-mode run is only an
+    // under-approximate proof. The pure-coverage index bug demonstrates it:
+    // fast mode is blind to it, prove mode reports it.
+    let v0 = KernelUnit::load(pug_kernels::reduction::V0).unwrap();
+    let idx_bug = KernelUnit::load(pug_kernels::reduction::BUGGY_INDEX).unwrap();
+    let cfg1 = GpuConfig::symbolic_1d(8);
+    println!("pure coverage bug (reduction 2*s*tid.x + 1):");
+    for mode in [Mode::FastBugHunt, Mode::Prove] {
+        let mut opts = CheckOptions::with_timeout(Duration::from_secs(120));
+        opts.mode = mode;
+        let report = check_equivalence_param(&v0, &idx_bug, &cfg1, &opts).unwrap();
+        let note = match (&report.verdict, mode) {
+            (Verdict::Verified(Soundness::UnderApprox), Mode::FastBugHunt) => {
+                " (under-approximate: the bug is invisible to the value queries)"
+            }
+            _ => "",
+        };
+        println!("  {mode:?}: {}{note}", report.verdict);
+    }
+}

@@ -1,0 +1,14 @@
+//! Render the paper's Table I (tool comparison) from the machine-readable
+//! capability matrix, which the test suite ties to working entry points.
+//!
+//! ```text
+//! cargo run --release --example capability_matrix
+//! ```
+
+fn main() {
+    println!("{}", pugpara::capabilities::render_table1());
+    println!("Bug classes per tool:");
+    for t in pugpara::capabilities::table1() {
+        println!("  {:<34} {:?}", t.name, t.capabilities);
+    }
+}

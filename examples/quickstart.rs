@@ -1,0 +1,42 @@
+//! Quickstart: verify a CUDA kernel parametrically in a few lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Loads the vector-add kernel, proves its post-condition for an arbitrary
+//! number of threads, checks it race-free, then breaks it and watches the
+//! verifier produce a concrete counterexample.
+
+use pugpara::equiv::{check_equivalence_param, CheckOptions};
+use pugpara::{check_postcondition_param, check_races, KernelUnit, Verdict};
+use pug_ir::GpuConfig;
+use std::time::Duration;
+
+fn main() {
+    let opts = CheckOptions::with_timeout(Duration::from_secs(60));
+    let cfg = GpuConfig::symbolic_1d(8); // arbitrary #threads, 8-bit model
+
+    // 1. Functional correctness: the postcondition holds for every thread
+    //    count, every configuration, every input.
+    let kernel = KernelUnit::load(pug_kernels::vector_add::WITH_POSTCOND).unwrap();
+    let report = check_postcondition_param(&kernel, &cfg, &opts).unwrap();
+    println!("postcondition of vectorAdd : {}", report.verdict);
+
+    // 2. Race freedom, also parameterized.
+    let report = check_races(&kernel, &cfg, &opts).unwrap();
+    println!("race freedom of vectorAdd : {}", report.verdict);
+
+    // 3. Equivalence with a buggy "optimization": the checker answers with
+    //    a concrete witness (configuration, thread ids, inputs).
+    let good = KernelUnit::load(pug_kernels::vector_add::KERNEL).unwrap();
+    let buggy = KernelUnit::load(pug_kernels::vector_add::BUGGY).unwrap();
+    let report = check_equivalence_param(&good, &buggy, &cfg, &opts).unwrap();
+    match &report.verdict {
+        Verdict::Bug(b) => {
+            println!("equivalence vs buggy copy  : bug found, as expected");
+            println!("{}", b.render());
+        }
+        other => println!("equivalence vs buggy copy  : unexpected verdict {other}"),
+    }
+}

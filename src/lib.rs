@@ -1,0 +1,7 @@
+//! Reproduction workspace root — re-exports the PUGpara crates.
+pub use pug_cuda as cuda;
+pub use pug_ir as ir;
+pub use pug_kernels as kernels;
+pub use pug_sat as sat;
+pub use pug_smt as smt;
+pub use pugpara as core_api;

@@ -1,0 +1,197 @@
+//! Workspace-level differential testing: the §III symbolic encoding against
+//! the concrete reference interpreter on randomly generated kernels.
+//!
+//! For each random kernel, concrete configuration and concrete inputs:
+//! interpret the kernel natively, then evaluate the symbolically encoded
+//! final arrays under the same inputs — the results must agree cell by
+//! cell. This exercises the whole stack: parser → type checker → symbolic
+//! executor (Γ translation, branch merging, loop unrolling) → store-chain
+//! memory → term evaluation.
+
+use pug_ir::{ConcreteInputs, GpuConfig};
+use pug_smt::{Env, Value};
+use pugpara::KernelUnit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A tiny random kernel generator over the supported subset.
+struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Integer expressions over tid.x, the scalar `p`, reads of `in`, and
+    /// small constants.
+    fn expr(&mut self, depth: usize) -> String {
+        if depth == 0 {
+            return match self.rng.gen_range(0..4) {
+                0 => "tid.x".into(),
+                1 => "p".into(),
+                2 => format!("{}", self.rng.gen_range(0..8)),
+                _ => format!("in[{}]", self.idx(0)),
+            };
+        }
+        let a = self.expr(depth - 1);
+        let b = self.expr(depth - 1);
+        let op = ["+", "-", "*", "&", "|", "^", "%", "/"][self.rng.gen_range(0..8)];
+        format!("({a} {op} {b})")
+    }
+
+    /// Small index expressions (kept in range by masking).
+    fn idx(&mut self, depth: usize) -> String {
+        if depth == 0 {
+            return match self.rng.gen_range(0..3) {
+                0 => "tid.x".into(),
+                1 => format!("{}", self.rng.gen_range(0..8)),
+                _ => "(tid.x + 1)".into(),
+            };
+        }
+        format!("(({}) & 7)", self.expr(depth - 1))
+    }
+
+    fn cond(&mut self) -> String {
+        let a = self.expr(1);
+        let b = self.expr(1);
+        let op = ["<", "<=", "==", "!=", ">", ">="][self.rng.gen_range(0..6)];
+        format!("({a}) {op} ({b})")
+    }
+
+    fn stmt(&mut self, depth: usize) -> String {
+        match self.rng.gen_range(0..6) {
+            0 => format!("out[{}] = {};", self.idx(1), self.expr(2)),
+            1 => format!("int l{} = {};", self.rng.gen_range(0..3), self.expr(2)),
+            2 if depth > 0 => {
+                format!(
+                    "if ({}) {{ {} }} else {{ {} }}",
+                    self.cond(),
+                    self.stmt(depth - 1),
+                    self.stmt(depth - 1)
+                )
+            }
+            3 => format!("out[{}] += {};", self.idx(1), self.expr(1)),
+            4 => {
+                let v = self.rng.gen_range(0..3);
+                format!("int l{v} = {}; out[{}] = l{v};", self.expr(1), self.idx(1))
+            }
+            _ => format!("out[{}] = in[{}];", self.idx(1), self.idx(1)),
+        }
+    }
+
+    fn kernel(&mut self) -> String {
+        let n = self.rng.gen_range(1..5);
+        let body: Vec<String> = (0..n).map(|_| self.stmt(2)).collect();
+        let barrier = if self.rng.gen_bool(0.4) {
+            // a second round reading what the first wrote
+            format!(
+                "__syncthreads();\nout[{}] = out[{}] + 1;",
+                self.idx(0),
+                self.idx(0)
+            )
+        } else {
+            String::new()
+        };
+        format!("void k(int *out, int *in, int p) {{\n{}\n{barrier}\n}}", body.join("\n"))
+    }
+}
+
+#[test]
+fn symbolic_encoding_matches_interpreter() {
+    let bits = 8;
+    let mut failures = Vec::new();
+    for seed in 0..60u64 {
+        let mut g = Gen::new(seed * 31 + 7);
+        let src = g.kernel();
+        let unit = match KernelUnit::load(&src) {
+            Ok(u) => u,
+            Err(e) => panic!("generated kernel must parse: {e}\n{src}"),
+        };
+        let n = g.rng.gen_range(1..5);
+        let cfg = GpuConfig::concrete_1d(bits, n);
+
+        // Concrete inputs.
+        let mut inputs = ConcreteInputs::default();
+        inputs.scalars.insert("p".into(), g.rng.gen_range(0..256));
+        let in_map: HashMap<u64, u64> =
+            (0..16).map(|i| (i, g.rng.gen_range(0..256))).collect();
+        inputs.arrays.insert("in".into(), in_map.clone());
+
+        // Ground truth.
+        let truth = pug_ir::run_concrete(&unit.kernel, &unit.types, &cfg, &inputs).unwrap();
+
+        // Symbolic encoding evaluated under the same inputs.
+        let mut ctx = pug_smt::Ctx::new();
+        let enc = pugpara::nonparam::encode(&mut ctx, &unit, &cfg, "s").unwrap();
+        let mut env = Env::new();
+        let arr_val = |m: &HashMap<u64, u64>| Value::Array {
+            entries: m.clone(),
+            default: 0,
+            index_width: bits,
+            elem_width: bits,
+        };
+        env.insert(enc.base_arrays["in"], arr_val(&in_map));
+        env.insert(enc.base_arrays["out"], arr_val(&HashMap::new()));
+        let p = ctx.mk_var("p", pug_smt::Sort::BitVec(bits));
+        env.insert(p, Value::Bv(inputs.scalars["p"], bits));
+
+        let final_out = enc.final_arrays["out"];
+        for cell in 0..16u64 {
+            let idx = ctx.mk_bv_const(cell, bits);
+            let sel = ctx.mk_select(final_out, idx);
+            let got = pug_smt::eval::eval(&ctx, sel, &env).as_bv();
+            let want = truth.read("out", cell);
+            if got != want {
+                failures.push(format!(
+                    "seed {seed}, n={n}, out[{cell}]: symbolic {got} != concrete {want}\n{src}"
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{} mismatches:\n{}", failures.len(), failures.join("\n---\n"));
+}
+
+#[test]
+fn param_self_equivalence_on_random_race_free_kernels() {
+    // A *race-free* kernel is trivially equivalent to itself and the
+    // parameterized checker must never report a bug on the pair (k, k).
+    // Race freedom is the method's stated precondition (§III "we assume
+    // that no data races occur"; §IV "since there exists no conflict, at
+    // most one thread will satisfy p"): on racy kernels the canonical
+    // serialization is one of several outcomes and independent writer
+    // instantiations may legitimately disagree. The paper's workflow runs
+    // the race checker first — so does this property.
+    use pugpara::equiv::{check_equivalence_param, CheckOptions};
+    use std::time::Duration;
+    let opts = CheckOptions::with_timeout(Duration::from_secs(60));
+    let mut race_free_seen = 0;
+    for seed in 0..24u64 {
+        let mut g = Gen::new(seed * 131 + 3);
+        let src = g.kernel();
+        let unit = KernelUnit::load(&src).unwrap();
+        // Single (symbolic-width) block: the generator indexes by tid.x, so
+        // a symbolic grid would alias the same cells across blocks.
+        let cfg = GpuConfig {
+            bits: 8,
+            bdim: [pug_ir::Extent::Sym, pug_ir::Extent::Const(1), pug_ir::Extent::Const(1)],
+            gdim: [pug_ir::Extent::Const(1), pug_ir::Extent::Const(1)],
+        };
+        let races = pugpara::check_races(&unit, &cfg, &opts).expect("race check runs");
+        if !races.verdict.is_verified() {
+            continue; // racy generator output: outside the method's domain
+        }
+        race_free_seen += 1;
+        match check_equivalence_param(&unit, &unit, &cfg, &opts) {
+            Ok(r) => assert!(
+                !r.verdict.is_bug(),
+                "self-equivalence of a race-free kernel must not be a bug (seed {seed}):\n{src}\n{}",
+                r.verdict
+            ),
+            Err(e) => panic!("checker error on seed {seed}: {e}\n{src}"),
+        }
+    }
+    assert!(race_free_seen >= 2, "generator must produce race-free kernels ({race_free_seen})");
+}

@@ -1,0 +1,160 @@
+//! Cross-crate pipeline integration: every corpus kernel flows through
+//! parse → type-check → (encode / extract) without errors, and the
+//! capability entry points behave on representative kernels.
+
+use pugpara::equiv::{check_equivalence_nonparam, check_equivalence_param, CheckOptions};
+use pugpara::{KernelUnit, Verdict};
+use pug_ir::GpuConfig;
+use std::time::Duration;
+
+fn opts() -> CheckOptions {
+    CheckOptions::with_timeout(Duration::from_secs(90))
+}
+
+/// Every corpus kernel loads and — under a small concrete configuration —
+/// encodes with the §III encoder.
+#[test]
+fn corpus_encodes_nonparam() {
+    use std::collections::HashMap;
+    for e in pug_kernels::all_kernels() {
+        let kernels = pug_cuda::parse_program(e.source).unwrap();
+        for k in kernels {
+            let types = pug_cuda::check_kernel(&k).unwrap();
+            let unit = KernelUnit { kernel: k, types };
+            let mut ctx = pug_smt::Ctx::new();
+            // 2×2 block covers both 1-D and 2-D kernels; power-of-two size
+            // satisfies the corpus requires-clauses. The tiled matmul's
+            // barrier loop is bounded by the `wA` parameter: concretize it
+            // (the paper's "+C." remedy).
+            let cfg = GpuConfig::concrete_2d(8, 2, 2);
+            let conc: HashMap<String, u64> =
+                HashMap::from([("wA".to_string(), 4u64), ("wB".to_string(), 2u64)]);
+            pugpara::nonparam::encode_with(&mut ctx, &unit, &cfg, "s", &conc)
+                .unwrap_or_else(|err| panic!("{} fails to encode: {err}", e.name));
+        }
+    }
+}
+
+/// Self-equivalence (non-parameterized) of every corpus kernel: a sanity
+/// invariant of the whole §III path including loop unrolling.
+#[test]
+fn corpus_nonparam_self_equivalence() {
+    for e in pug_kernels::all_kernels() {
+        if e.buggy {
+            // Seeded-bug variants may read uninitialized shared memory
+            // (that *is* the bug): the two encodings then see different
+            // arbitrary values, and self-equivalence rightly fails.
+            continue;
+        }
+        if e.name.starts_with("matmul") {
+            // The tiled matmul needs a concretized wA to unroll; covered by
+            // `matmul_naive_vs_tiled_concrete` below.
+            continue;
+        }
+        let kernels = pug_cuda::parse_program(e.source).unwrap();
+        for k in kernels {
+            let name = k.name.clone();
+            let types = pug_cuda::check_kernel(&k).unwrap();
+            let unit = KernelUnit { kernel: k, types };
+            let cfg = GpuConfig::concrete_2d(8, 2, 2);
+            let r = check_equivalence_nonparam(&unit, &unit, &cfg, &opts())
+                .unwrap_or_else(|err| panic!("{name}: {err}"));
+            assert!(
+                r.verdict.is_verified(),
+                "{name} must be self-equivalent, got {}",
+                r.verdict
+            );
+        }
+    }
+}
+
+/// The headline pairs, one place: verified pairs verify, buggy pairs bug.
+#[test]
+fn headline_pairs() {
+    let pairs: Vec<(&str, &str, &str, bool, GpuConfig)> = vec![
+        (
+            "transpose",
+            pug_kernels::transpose::NAIVE,
+            pug_kernels::transpose::OPTIMIZED,
+            true,
+            GpuConfig::symbolic_2d(8),
+        ),
+        (
+            "transpose-buggy",
+            pug_kernels::transpose::NAIVE,
+            pug_kernels::transpose::BUGGY_ADDR,
+            false,
+            GpuConfig::symbolic_2d(8),
+        ),
+        (
+            "reduction",
+            pug_kernels::reduction::V0,
+            pug_kernels::reduction::V1,
+            true,
+            GpuConfig::symbolic_1d(8),
+        ),
+        (
+            "reduction-buggy",
+            pug_kernels::reduction::V0,
+            pug_kernels::reduction::BUGGY_INDEX,
+            false,
+            GpuConfig::symbolic_1d(8),
+        ),
+        (
+            "vector-add-buggy",
+            pug_kernels::vector_add::KERNEL,
+            pug_kernels::vector_add::BUGGY,
+            false,
+            GpuConfig::symbolic_1d(8),
+        ),
+    ];
+    for (name, a, b, expect_verified, cfg) in pairs {
+        let ua = KernelUnit::load(a).unwrap();
+        let ub = KernelUnit::load(b).unwrap();
+        let r = check_equivalence_param(&ua, &ub, &cfg, &opts()).unwrap();
+        match (&r.verdict, expect_verified) {
+            (Verdict::Verified(_), true) | (Verdict::Bug(_), false) => {}
+            (got, _) => panic!("{name}: expected verified={expect_verified}, got {got}"),
+        }
+    }
+}
+
+/// Scalar-product hidden assumption: with the power-of-two `requires` the
+/// kernel is race-free and self-consistent; checking the unconstrained
+/// variant against the constrained one exposes nothing (same code), but
+/// the *race checker* accepts both and the tree still verifies self-equal.
+#[test]
+fn scalar_product_power_of_two_assumption() {
+    let constrained = KernelUnit::load(pug_kernels::scalar_product::KERNEL).unwrap();
+    let cfg = GpuConfig::symbolic_1d(8);
+    let races = pugpara::check_races(&constrained, &cfg, &opts()).unwrap();
+    assert!(races.verdict.is_verified(), "got {}", races.verdict);
+    // Non-param equivalence of the constrained and unconstrained versions
+    // at a power-of-two block: identical behaviour.
+    let unconstrained = KernelUnit::load(pug_kernels::scalar_product::UNCONSTRAINED).unwrap();
+    let cfg4 = GpuConfig::concrete_1d(8, 4);
+    let r = check_equivalence_nonparam(&constrained, &unconstrained, &cfg4, &opts()).unwrap();
+    assert!(r.verdict.is_verified(), "got {}", r.verdict);
+}
+
+/// Bitonic sort: GKLEE's blow-up example runs through the concrete
+/// (non-parameterized) pipeline — self-equivalence at n = 4.
+#[test]
+fn bitonic_nonparam_self_equivalence() {
+    let unit = KernelUnit::load(pug_kernels::bitonic::KERNEL).unwrap();
+    let cfg = GpuConfig::concrete_1d(8, 4);
+    let r = check_equivalence_nonparam(&unit, &unit, &cfg, &opts()).unwrap();
+    assert!(r.verdict.is_verified(), "got {}", r.verdict);
+}
+
+/// Matmul: naive vs tiled at a concrete square block with concretized
+/// inner dimension (the "+C." remedy for the data-dependent tile loop).
+#[test]
+fn matmul_naive_vs_tiled_concrete() {
+    let naive = KernelUnit::load(pug_kernels::matmul::NAIVE).unwrap();
+    let tiled = KernelUnit::load(pug_kernels::matmul::TILED).unwrap();
+    let cfg = GpuConfig::concrete_2d(8, 2, 2);
+    let o = opts().concretized("wA", 4).concretized("wB", 2);
+    let r = check_equivalence_nonparam(&naive, &tiled, &cfg, &o).unwrap();
+    assert!(r.verdict.is_verified(), "got {}", r.verdict);
+}
