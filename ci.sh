@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo CI: build, full test suite, lints, and the fault-injection smoke.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> fault-injection smoke"
+cargo run --release -p pug-bench --bin repro-tables -- --fault-injection --timeout 20
+
+echo "CI OK"

@@ -1,114 +1,100 @@
-//! Criterion microbenchmarks for the solver substrates: the CDCL core and
-//! the bit-blaster. These calibrate the reproduction's "hardware": absolute
-//! table times scale with these numbers.
+//! Microbenchmarks for the solver substrates: the CDCL core and the
+//! bit-blaster. These calibrate the reproduction's "hardware": absolute
+//! table times scale with these numbers. (Plain timing harness — the
+//! workspace builds offline, so no criterion.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pug_sat::{Budget, Lit, SolveResult, Solver, Var};
 use pug_smt::{check, Ctx, SmtResult, Sort};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pug_testutil::{bench, TestRng};
 
 /// Pigeonhole PHP(n+1, n): classic resolution-hard UNSAT family.
-fn pigeonhole(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sat/pigeonhole");
+fn pigeonhole() {
     for holes in [4usize, 5, 6] {
-        g.bench_with_input(BenchmarkId::from_parameter(holes), &holes, |b, &holes| {
-            b.iter(|| {
-                let pigeons = holes + 1;
-                let mut s = Solver::new();
-                let p: Vec<Vec<Var>> =
-                    (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
-                for row in &p {
-                    let clause: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
-                    s.add_clause(&clause);
-                }
-                for h in 0..holes {
-                    for i in 0..pigeons {
-                        for j in (i + 1)..pigeons {
-                            s.add_clause(&[p[i][h].neg(), p[j][h].neg()]);
-                        }
+        bench(&format!("sat/pigeonhole/{holes}"), 10, || {
+            let pigeons = holes + 1;
+            let mut s = Solver::new();
+            let p: Vec<Vec<Var>> =
+                (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+            for row in &p {
+                let clause: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+                s.add_clause(&clause);
+            }
+            #[allow(clippy::needless_range_loop)] // h/i/j symmetry reads better indexed
+            for h in 0..holes {
+                for i in 0..pigeons {
+                    for j in (i + 1)..pigeons {
+                        s.add_clause(&[p[i][h].neg(), p[j][h].neg()]);
                     }
                 }
-                assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Unsat);
-            })
+            }
+            assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Unsat);
         });
     }
-    g.finish();
 }
 
 /// Random satisfiable 3-SAT near the phase transition.
-fn random_3sat(c: &mut Criterion) {
-    c.bench_function("sat/random-3sat-120v", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(42);
-            let nv = 120usize;
-            let nc = (nv as f64 * 4.0) as usize;
-            let mut s = Solver::new();
-            let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
-            for _ in 0..nc {
-                let clause: Vec<Lit> = (0..3)
-                    .map(|_| Lit::new(vars[rng.gen_range(0..nv)], rng.gen_bool(0.5)))
-                    .collect();
-                s.add_clause(&clause);
-            }
-            let _ = s.solve(&Budget::with_conflicts(200_000));
-        })
+fn random_3sat() {
+    bench("sat/random-3sat-120v", 10, || {
+        let mut rng = TestRng::seed_from_u64(42);
+        let nv = 120usize;
+        let nc = (nv as f64 * 4.0) as usize;
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
+        for _ in 0..nc {
+            let clause: Vec<Lit> = (0..3)
+                .map(|_| Lit::new(vars[rng.gen_range(0..nv)], rng.gen_bool(0.5)))
+                .collect();
+            s.add_clause(&clause);
+        }
+        let _ = s.solve(&Budget::with_conflicts(200_000));
     });
 }
 
 /// Bit-vector multiplication commutativity at the paper's widths — the
 /// dominant circuit in the transpose/reduction encodings.
-fn bv_mul_commutes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("smt/mul-commutes");
+fn bv_mul_commutes() {
     for bits in [8u32, 12, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
-            b.iter(|| {
-                let mut ctx = Ctx::new();
-                let x = ctx.mk_var("x", Sort::BitVec(bits));
-                let y = ctx.mk_var("y", Sort::BitVec(bits));
-                let xy = ctx.mk_bv_mul(x, y);
-                let yx_vars = (ctx.mk_var("y2", Sort::BitVec(bits)), x);
-                let _ = yx_vars;
-                let yx = ctx.mk_bv_mul(y, x);
-                // hash-consing makes these identical; force a real query via
-                // (x*y) + 1 != (y*x) + 1 with an opaque reshuffle
-                let one = ctx.mk_bv_const(1, bits);
-                let a = ctx.mk_bv_add(xy, one);
-                let z = ctx.mk_var("z", Sort::BitVec(bits));
-                let b2 = ctx.mk_bv_add(yx, one);
-                let eqz = ctx.mk_eq(z, b2);
-                let neq = ctx.mk_neq(a, z);
-                let r = check(&mut ctx, &[eqz, neq], &pug_sat::Budget::unlimited());
-                assert!(matches!(r, SmtResult::Unsat));
-            })
+        bench(&format!("smt/mul-commutes/{bits}"), 10, || {
+            let mut ctx = Ctx::new();
+            let x = ctx.mk_var("x", Sort::BitVec(bits));
+            let y = ctx.mk_var("y", Sort::BitVec(bits));
+            let xy = ctx.mk_bv_mul(x, y);
+            let yx = ctx.mk_bv_mul(y, x);
+            // hash-consing makes these identical; force a real query via
+            // (x*y) + 1 != (y*x) + 1 with an opaque reshuffle
+            let one = ctx.mk_bv_const(1, bits);
+            let a = ctx.mk_bv_add(xy, one);
+            let z = ctx.mk_var("z", Sort::BitVec(bits));
+            let b2 = ctx.mk_bv_add(yx, one);
+            let eqz = ctx.mk_eq(z, b2);
+            let neq = ctx.mk_neq(a, z);
+            let r = check(&mut ctx, &[eqz, neq], &pug_sat::Budget::unlimited());
+            assert!(matches!(r, SmtResult::Unsat));
         });
     }
-    g.finish();
 }
 
 /// Division-circuit round trip: (a / b) * b + (a % b) == a.
-fn bv_divmod_identity(c: &mut Criterion) {
-    c.bench_function("smt/divmod-identity-8b", |b| {
-        b.iter(|| {
-            let mut ctx = Ctx::new();
-            let a = ctx.mk_var("a", Sort::BitVec(8));
-            let d = ctx.mk_var("d", Sort::BitVec(8));
-            let zero = ctx.mk_bv_const(0, 8);
-            let nz = ctx.mk_neq(d, zero);
-            let q = ctx.mk_bv_udiv(a, d);
-            let r = ctx.mk_bv_urem(a, d);
-            let qb = ctx.mk_bv_mul(q, d);
-            let sum = ctx.mk_bv_add(qb, r);
-            let neq = ctx.mk_neq(sum, a);
-            let res = check(&mut ctx, &[nz, neq], &pug_sat::Budget::unlimited());
-            assert!(matches!(res, SmtResult::Unsat));
-        })
+fn bv_divmod_identity() {
+    bench("smt/divmod-identity-8b", 10, || {
+        let mut ctx = Ctx::new();
+        let a = ctx.mk_var("a", Sort::BitVec(8));
+        let d = ctx.mk_var("d", Sort::BitVec(8));
+        let zero = ctx.mk_bv_const(0, 8);
+        let nz = ctx.mk_neq(d, zero);
+        let q = ctx.mk_bv_udiv(a, d);
+        let r = ctx.mk_bv_urem(a, d);
+        let qb = ctx.mk_bv_mul(q, d);
+        let sum = ctx.mk_bv_add(qb, r);
+        let neq = ctx.mk_neq(sum, a);
+        let res = check(&mut ctx, &[nz, neq], &pug_sat::Budget::unlimited());
+        assert!(matches!(res, SmtResult::Unsat));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = pigeonhole, random_3sat, bv_mul_commutes, bv_divmod_identity
+fn main() {
+    pigeonhole();
+    random_3sat();
+    bv_mul_commutes();
+    bv_divmod_identity();
 }
-criterion_main!(benches);

@@ -2,9 +2,14 @@
 //! outcome notation.
 
 use pugpara::equiv::{check_equivalence_nonparam, check_equivalence_param, CheckOptions};
+use pugpara::failpoints::{self, Fault};
+use pugpara::runner::{panic_message, Watchdog};
 use pugpara::{KernelUnit, Verdict};
 use pug_ir::{Extent, GpuConfig};
+use pug_smt::CancelToken;
+use std::cell::RefCell;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 /// Outcome of one cell, rendered in the paper's notation: SMT seconds,
@@ -20,6 +25,8 @@ pub enum Outcome {
     Timeout,
     /// Checker error (e.g. alignment failure) — not expected in the grid.
     Error(String),
+    /// The checker panicked; the cell was isolated and the run continued.
+    Crash(String),
 }
 
 impl Outcome {
@@ -40,12 +47,56 @@ impl fmt::Display for Outcome {
             Outcome::Starred(d) => write!(f, "{:.2}*", d.as_secs_f64()),
             Outcome::Timeout => write!(f, "T.O"),
             Outcome::Error(e) => write!(f, "ERR({e})"),
+            Outcome::Crash(_) => write!(f, "CRASH"),
         }
     }
 }
 
+thread_local! {
+    /// Cancel token of the cell currently inside [`run_cell`], picked up by
+    /// [`opts`] so the watchdog can interrupt the solver cooperatively.
+    static ACTIVE_TOKEN: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
 fn opts(timeout: Duration) -> CheckOptions {
-    CheckOptions::with_timeout(timeout)
+    let mut o = CheckOptions::with_timeout(timeout);
+    if let Some(token) = ACTIVE_TOKEN.with(|t| t.borrow().clone()) {
+        o = o.with_cancel(token);
+    }
+    o
+}
+
+/// Fault boundary for one table cell.
+///
+/// The cell body runs under [`catch_unwind`], with a [`Watchdog`] armed
+/// slightly past the solver's own deadline: if the checker hangs between
+/// budget polls, the watchdog trips the cell's [`CancelToken`] and the cell
+/// resolves as `T.O`; if it panics, the payload is captured and the cell
+/// resolves as `CRASH`. Either way the remaining cells still run — one bad
+/// cell no longer kills `repro-tables`.
+pub fn run_cell<F>(timeout: Duration, f: F) -> Outcome
+where
+    F: FnOnce() -> Outcome,
+{
+    let token = CancelToken::new();
+    // Grace period: the in-band deadline should fire first; the watchdog is
+    // the backstop for code stuck between cooperative polls.
+    let _watchdog = Watchdog::arm(token.clone(), timeout + timeout / 4 + Duration::from_secs(1));
+    ACTIVE_TOKEN.with(|t| *t.borrow_mut() = Some(token));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        match failpoints::trip("bench::cell") {
+            // `Panic` unwinds out of `trip` itself, exercising the boundary.
+            Some(Fault::BudgetExhausted) => return Outcome::Timeout,
+            Some(Fault::SpuriousUnknown) => return Outcome::Timeout,
+            _ => {}
+        }
+        f()
+    }));
+    ACTIVE_TOKEN.with(|t| *t.borrow_mut() = None);
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => Outcome::Crash(panic_message(&*payload)),
+    }
 }
 
 /// Map the paper's thread counts to 2-D transpose blocks: 4 → 2×2,

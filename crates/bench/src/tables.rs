@@ -10,6 +10,15 @@ pub struct TableRow {
     pub cells: Vec<(String, Outcome)>,
 }
 
+/// Run one labeled cell inside the [`cells::run_cell`] fault boundary.
+fn cell(
+    label: &str,
+    timeout: Duration,
+    f: impl FnOnce() -> Outcome,
+) -> (String, Outcome) {
+    (label.to_string(), cells::run_cell(timeout, f))
+}
+
 /// Table II — equivalence checking of *bug-free* kernels.
 ///
 /// Columns follow the paper: non-parameterized at n = 4, 8, 16(+C.),
@@ -20,29 +29,29 @@ pub fn table2_rows(timeout: Duration, quick: bool) -> Vec<TableRow> {
     let transpose_bits: &[u32] = if quick { &[8, 16] } else { &[8, 16, 32] };
     for &bits in transpose_bits {
         let mut cells_row = vec![
-            ("n=4".into(), cells::transpose_nonparam(bits, 4, false, timeout)),
-            ("n=8".into(), cells::transpose_nonparam(bits, 8, false, timeout)),
-            ("n=16(+C.)".into(), cells::transpose_nonparam(bits, 16, true, timeout)),
+            cell("n=4", timeout, || cells::transpose_nonparam(bits, 4, false, timeout)),
+            cell("n=8", timeout, || cells::transpose_nonparam(bits, 8, false, timeout)),
+            cell("n=16(+C.)", timeout, || cells::transpose_nonparam(bits, 16, true, timeout)),
         ];
         if !quick {
             cells_row
-                .push(("n=32(+C.)".into(), cells::transpose_nonparam(bits, 32, true, timeout)));
+                .push(cell("n=32(+C.)", timeout, || cells::transpose_nonparam(bits, 32, true, timeout)));
         }
-        cells_row.push(("param -C.".into(), cells::transpose_param(bits, false, timeout)));
-        cells_row.push(("param +C.".into(), cells::transpose_param(bits, true, timeout)));
+        cells_row.push(cell("param -C.", timeout, || cells::transpose_param(bits, false, timeout)));
+        cells_row.push(cell("param +C.", timeout, || cells::transpose_param(bits, true, timeout)));
         rows.push(TableRow { kernel: format!("Transpose ({bits}b)"), cells: cells_row });
     }
     let reduction_bits: &[u32] = &[8, 12];
     for &bits in reduction_bits {
         let mut cells_row = vec![
-            ("n=4".into(), cells::reduction_nonparam(bits, 4, timeout)),
-            ("n=8".into(), cells::reduction_nonparam(bits, 8, timeout)),
+            cell("n=4", timeout, || cells::reduction_nonparam(bits, 4, timeout)),
+            cell("n=8", timeout, || cells::reduction_nonparam(bits, 8, timeout)),
         ];
         if !quick {
-            cells_row.push(("n=16".into(), cells::reduction_nonparam(bits, 16, timeout)));
+            cells_row.push(cell("n=16", timeout, || cells::reduction_nonparam(bits, 16, timeout)));
         }
-        cells_row.push(("param -C.".into(), cells::reduction_param(bits, false, timeout)));
-        cells_row.push(("param +C.".into(), cells::reduction_param(bits, true, timeout)));
+        cells_row.push(cell("param -C.", timeout, || cells::reduction_param(bits, false, timeout)));
+        cells_row.push(cell("param +C.", timeout, || cells::reduction_param(bits, true, timeout)));
         rows.push(TableRow { kernel: format!("Reduction ({bits}b)"), cells: cells_row });
     }
     rows
@@ -56,10 +65,10 @@ pub fn table3_rows(timeout: Duration, quick: bool) -> Vec<TableRow> {
         rows.push(TableRow {
             kernel: format!("Transpose ({bits}b)"),
             cells: vec![
-                ("n=4".into(), cells::transpose_buggy_nonparam(bits, 4, timeout)),
-                ("n=8".into(), cells::transpose_buggy_nonparam(bits, 8, timeout)),
-                ("n=16".into(), cells::transpose_buggy_nonparam(bits, 16, timeout)),
-                ("param".into(), cells::transpose_buggy_param(bits, timeout)),
+                cell("n=4", timeout, || cells::transpose_buggy_nonparam(bits, 4, timeout)),
+                cell("n=8", timeout, || cells::transpose_buggy_nonparam(bits, 8, timeout)),
+                cell("n=16", timeout, || cells::transpose_buggy_nonparam(bits, 16, timeout)),
+                cell("param", timeout, || cells::transpose_buggy_param(bits, timeout)),
             ],
         });
     }
@@ -68,10 +77,10 @@ pub fn table3_rows(timeout: Duration, quick: bool) -> Vec<TableRow> {
         rows.push(TableRow {
             kernel: format!("Reduction ({bits}b)"),
             cells: vec![
-                ("n=4".into(), cells::reduction_buggy_nonparam(bits, 4, timeout)),
-                ("n=8".into(), cells::reduction_buggy_nonparam(bits, 8, timeout)),
-                ("n=16".into(), cells::reduction_buggy_nonparam(bits, 16, timeout)),
-                ("param".into(), cells::reduction_buggy_param(bits, timeout)),
+                cell("n=4", timeout, || cells::reduction_buggy_nonparam(bits, 4, timeout)),
+                cell("n=8", timeout, || cells::reduction_buggy_nonparam(bits, 8, timeout)),
+                cell("n=16", timeout, || cells::reduction_buggy_nonparam(bits, 16, timeout)),
+                cell("param", timeout, || cells::reduction_buggy_param(bits, timeout)),
             ],
         });
     }
@@ -114,31 +123,31 @@ pub fn render_rows(title: &str, rows: &[TableRow]) -> String {
 /// threads" / "GKLEE … exceeding resources at about 2K threads". Run at 16
 /// bits where blocks up to 128 threads stay wrap-free.
 pub fn scaling_rows(timeout: Duration) -> Vec<TableRow> {
-    let mut rows = Vec::new();
-    // v0 vs v2: structurally different reduction trees — the solver must
-    // prove the sums equal, with cost growing steeply in n.
-    rows.push(TableRow {
-        kernel: "Reduce v0/v2 (8b)".into(),
-        cells: vec![
-            ("n=4".into(), cells::reduction_v2_nonparam(8, 4, timeout)),
-            ("n=8".into(), cells::reduction_v2_nonparam(8, 8, timeout)),
-            ("n=16".into(), cells::reduction_v2_nonparam(8, 16, timeout)),
-            ("param v0/v1".into(), cells::reduction_param(8, false, timeout)),
-        ],
-    });
-    // Transpose with *symbolic* matrix sizes: store-chain resolution cannot
-    // fold the addresses, so the chain depth (= n) hits the solver.
-    rows.push(TableRow {
-        kernel: "Transpose -C (8b)".into(),
-        cells: vec![
-            ("n=4".into(), cells::transpose_nonparam(8, 4, false, timeout)),
-            ("n=16".into(), cells::transpose_nonparam(8, 16, false, timeout)),
-            ("n=64".into(), cells::transpose_nonparam(8, 64, false, timeout)),
-            ("n=144".into(), cells::transpose_nonparam(8, 144, false, timeout)),
-            ("param -C.".into(), cells::transpose_param(8, false, timeout)),
-        ],
-    });
-    rows
+    vec![
+        // v0 vs v2: structurally different reduction trees — the solver must
+        // prove the sums equal, with cost growing steeply in n.
+        TableRow {
+            kernel: "Reduce v0/v2 (8b)".into(),
+            cells: vec![
+                cell("n=4", timeout, || cells::reduction_v2_nonparam(8, 4, timeout)),
+                cell("n=8", timeout, || cells::reduction_v2_nonparam(8, 8, timeout)),
+                cell("n=16", timeout, || cells::reduction_v2_nonparam(8, 16, timeout)),
+                cell("param v0/v1", timeout, || cells::reduction_param(8, false, timeout)),
+            ],
+        },
+        // Transpose with *symbolic* matrix sizes: store-chain resolution
+        // cannot fold the addresses, so the chain depth (= n) hits the solver.
+        TableRow {
+            kernel: "Transpose -C (8b)".into(),
+            cells: vec![
+                cell("n=4", timeout, || cells::transpose_nonparam(8, 4, false, timeout)),
+                cell("n=16", timeout, || cells::transpose_nonparam(8, 16, false, timeout)),
+                cell("n=64", timeout, || cells::transpose_nonparam(8, 64, false, timeout)),
+                cell("n=144", timeout, || cells::transpose_nonparam(8, 144, false, timeout)),
+                cell("param -C.", timeout, || cells::transpose_param(8, false, timeout)),
+            ],
+        },
+    ]
 }
 
 #[cfg(test)]
@@ -170,6 +179,13 @@ mod tests {
         assert!(s.contains("Demo"));
         assert!(s.contains("0.12"));
         assert!(s.contains("T.O"));
+    }
+
+    #[test]
+    fn cell_boundary_catches_panics() {
+        let o = cells::run_cell(Duration::from_secs(5), || panic!("seeded cell panic"));
+        assert_eq!(o.to_string(), "CRASH");
+        assert!(matches!(o, Outcome::Crash(m) if m.contains("seeded cell panic")));
     }
 
     #[test]

@@ -18,8 +18,9 @@
 //!   3. **read coverage** — every shared-memory read is covered by a
 //!      writer, exposing hidden configuration assumptions (the non-square
 //!      Transpose block of §IV-B).
-//!   In [`Mode::FastBugHunt`] families 2–3 are skipped (the paper's §IV-D
-//!   fast bug hunting: reported bugs are real, proofs are under-approximate).
+//!
+//! In [`Mode::FastBugHunt`] families 2–3 are skipped (the paper's §IV-D
+//! fast bug hunting: reported bugs are real, proofs are under-approximate).
 
 use crate::error::Error;
 use crate::kernel::KernelUnit;
@@ -32,7 +33,7 @@ use pug_ir::{
     align_headers, normalize_header, split_bis, Alignment, BoundConfig, GpuConfig, LoopSpace,
     Segment,
 };
-use pug_smt::{check_detailed, Budget, CheckStats, Ctx, Op, SmtResult, Sort, TermId};
+use pug_smt::{check_detailed, Budget, CancelToken, CheckStats, Ctx, Op, SmtResult, Sort, TermId};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -59,6 +60,14 @@ pub struct CheckOptions {
     pub mode: Mode,
     /// The paper's "+C." flag: scalar parameters to pin to concrete values.
     pub concretize: HashMap<String, u64>,
+    /// Cooperative cancellation: tripping this token (from a watchdog or a
+    /// supervising thread) makes every layer of the pipeline yield `Unknown`
+    /// within a bounded amount of work.
+    pub cancel: CancelToken,
+    /// Memory cap on the SAT clause database, in bytes of literal storage.
+    pub max_clause_bytes: Option<usize>,
+    /// Memory cap on hash-consed term nodes in the SMT context.
+    pub max_term_nodes: Option<usize>,
 }
 
 impl Default for CheckOptions {
@@ -68,6 +77,9 @@ impl Default for CheckOptions {
             max_conflicts: None,
             mode: Mode::Prove,
             concretize: HashMap::new(),
+            cancel: CancelToken::new(),
+            max_clause_bytes: None,
+            max_term_nodes: None,
         }
     }
 }
@@ -87,6 +99,12 @@ impl CheckOptions {
     /// Switch to fast bug hunting.
     pub fn fast_bug_hunt(mut self) -> CheckOptions {
         self.mode = Mode::FastBugHunt;
+        self
+    }
+
+    /// Attach a cancellation token (shared with a watchdog/supervisor).
+    pub fn with_cancel(mut self, token: CancelToken) -> CheckOptions {
+        self.cancel = token;
         self
     }
 }
@@ -156,6 +174,9 @@ impl Session {
             max_conflicts: opts.max_conflicts,
             max_propagations: None,
             deadline: opts.timeout.map(|d| Instant::now() + d),
+            max_clause_bytes: opts.max_clause_bytes,
+            max_term_nodes: opts.max_term_nodes,
+            cancel: opts.cancel.clone(),
         };
         Session {
             ctx: Ctx::new(),
@@ -783,7 +804,7 @@ fn lockstep_equiv(
                     &mut sess.ctx,
                     src,
                     bound,
-                    &[a.clone()],
+                    std::slice::from_ref(a),
                     ExtractOptions {
                         tag: &format!("s{i}"),
                         entry_versions: entries.clone(),
@@ -797,7 +818,7 @@ fn lockstep_equiv(
                     &mut sess.ctx,
                     tgt,
                     bound,
-                    &[b.clone()],
+                    std::slice::from_ref(b),
                     ExtractOptions {
                         tag: &format!("t{i}"),
                         entry_versions: entries,

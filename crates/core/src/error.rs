@@ -17,6 +17,9 @@ pub enum Error {
     /// Check configuration problem (e.g. non-param encoding without a
     /// concrete thread count).
     BadConfig { detail: String },
+    /// Symbolic execution referenced an array the kernel never declared —
+    /// a malformed unit that previously crashed CA extraction.
+    UnknownArray { array: String },
 }
 
 impl fmt::Display for Error {
@@ -26,6 +29,9 @@ impl fmt::Display for Error {
             Error::Ir(e) => write!(f, "{e}"),
             Error::AlignmentFailed { detail } => write!(f, "loop alignment failed: {detail}"),
             Error::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+            Error::UnknownArray { array } => {
+                write!(f, "unknown array `{array}` in CA extraction")
+            }
         }
     }
 }

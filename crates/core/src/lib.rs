@@ -60,6 +60,7 @@ pub mod postcond;
 pub mod qelim;
 pub mod race;
 pub mod resolve;
+pub mod runner;
 pub mod spec;
 pub mod verdict;
 
@@ -70,5 +71,10 @@ pub use error::Error;
 pub use kernel::KernelUnit;
 pub use perf::{check_bank_conflicts, check_coalescing, PerfReport};
 pub use postcond::{check_postcondition_nonparam, check_postcondition_param};
+pub use pug_smt::failpoints;
 pub use race::check_races;
+pub use runner::{
+    run_resilient, Provenance, ResilientReport, Rung, RungOutcome, RungRecord, RunnerOptions,
+    Watchdog,
+};
 pub use verdict::{BugKind, BugReport, Soundness, Verdict};

@@ -157,7 +157,7 @@ pub fn encode_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pug_smt::{check, check_valid, Budget, SmtResult};
+    use pug_smt::{check, check_valid, Budget};
 
     #[test]
     fn copy_kernel_final_state() {

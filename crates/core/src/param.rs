@@ -72,14 +72,25 @@ pub struct ParamRegion {
 struct CaMemory {
     versions: HashMap<String, TermId>,
     pending: Vec<CA>,
+    /// First array referenced without a declaration. The `Memory` trait
+    /// cannot return `Result`, so the read poisons the run instead of
+    /// panicking; [`extract_region`] turns it into [`Error::UnknownArray`].
+    missing: Option<String>,
 }
 
 impl Memory for CaMemory {
     fn read(&mut self, ctx: &mut Ctx, array: &str, index: TermId, _guard: TermId) -> TermId {
-        let v = *self
-            .versions
-            .get(array)
-            .unwrap_or_else(|| panic!("unknown array `{array}` in CA extraction"));
+        let v = match self.versions.get(array) {
+            Some(&v) => v,
+            None => {
+                if self.missing.is_none() {
+                    self.missing = Some(array.to_string());
+                }
+                // Placeholder so execution can unwind to the error check.
+                let w = ctx.width(index);
+                ctx.mk_var(&format!("{array}@missing"), Sort::Array { index: w, elem: w })
+            }
+        };
         ctx.mk_select(v, index)
     }
 
@@ -106,11 +117,11 @@ pub fn thread_range(
     bid: [TermId; 2],
 ) -> TermId {
     let mut cs = Vec::new();
-    for i in 0..3 {
-        cs.push(ctx.mk_bv_ult(tid[i], bound.bdim[i]));
+    for (t, b) in tid.iter().zip(&bound.bdim) {
+        cs.push(ctx.mk_bv_ult(*t, *b));
     }
-    for i in 0..2 {
-        cs.push(ctx.mk_bv_ult(bid[i], bound.gdim[i]));
+    for (t, g) in bid.iter().zip(&bound.gdim) {
+        cs.push(ctx.mk_bv_ult(*t, *g));
     }
     ctx.mk_and_many(&cs)
 }
@@ -147,7 +158,7 @@ pub fn extract_region(
     let mut entries: HashMap<String, TermId> = HashMap::new();
     let mut uninit_bases: HashSet<TermId> = HashSet::new();
     let mut shared_arrays: HashSet<String> = HashSet::new();
-    let mut mem = CaMemory { versions: HashMap::new(), pending: Vec::new() };
+    let mut mem = CaMemory { versions: HashMap::new(), pending: Vec::new(), missing: None };
 
     for name in unit.global_arrays() {
         let t = *opts
@@ -191,6 +202,9 @@ pub fn extract_region(
     let tru = machine.ctx.mk_true();
     for (bi_ix, bi) in bis.iter().enumerate() {
         machine.exec_block(bi, &mut env, tru)?;
+        if let Some(array) = machine.mem.missing.take() {
+            return Err(Error::UnknownArray { array });
+        }
         // Seal the BI: arrays with pending CAs get a new version.
         let pending = std::mem::take(&mut machine.mem.pending);
         let mut by_array: HashMap<String, Vec<CA>> = HashMap::new();
@@ -350,6 +364,21 @@ void k(int *out) {
         );
         let meta = region.versions.values().next().unwrap();
         assert_eq!(meta.cas.len(), 2, "two write sites, two CAs");
+    }
+
+    #[test]
+    fn unknown_array_poisons_instead_of_panicking() {
+        // A read of an undeclared array used to panic mid-extraction; now it
+        // records the name so extract_region returns Error::UnknownArray.
+        let mut ctx = Ctx::new();
+        let mut mem =
+            CaMemory { versions: HashMap::new(), pending: Vec::new(), missing: None };
+        let idx = ctx.mk_bv_const(0, 8);
+        let tru = ctx.mk_true();
+        let _ = mem.read(&mut ctx, "ghost", idx, tru);
+        assert_eq!(mem.missing.as_deref(), Some("ghost"));
+        let err = Error::UnknownArray { array: "ghost".into() };
+        assert!(err.to_string().contains("ghost"));
     }
 
     #[test]

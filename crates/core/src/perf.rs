@@ -79,7 +79,8 @@ fn analyze(
 
     for (i, seg) in segments.iter().enumerate() {
         // One symbolic iteration for loop segments, as in the race checker.
-        let (stmts, extra_locals, mut extra): (Vec<pug_cuda::Stmt>, Vec<(String, TermId, bool)>, Vec<TermId>) =
+        type SegmentEnv = (Vec<pug_cuda::Stmt>, Vec<(String, TermId, bool)>, Vec<TermId>);
+        let (stmts, extra_locals, mut extra): SegmentEnv =
             match seg {
                 Segment::Straight(sts) => (sts.clone(), vec![], vec![]),
                 Segment::Loop { init, cond, update, body, .. } => {
@@ -169,8 +170,7 @@ fn analyze(
 
             let mut asserts = extra.clone();
             asserts.extend([r1, r2, g1, g2]);
-            let label;
-            match which {
+            let label = match which {
                 Analysis::BankConflicts => {
                     let banks = sess.ctx.mk_bv_const(BANKS, w);
                     let b1 = sess.ctx.mk_bv_urem(addr1, banks);
@@ -178,15 +178,15 @@ fn analyze(
                     let same_bank = sess.ctx.mk_eq(b1, b2);
                     let diff_addr = sess.ctx.mk_neq(addr1, addr2);
                     asserts.extend([same_half_warp, same_bank, diff_addr]);
-                    label = format!("bank-conflict[{}#{i}]", a.array);
+                    format!("bank-conflict[{}#{i}]", a.array)
                 }
                 Analysis::Coalescing => {
                     let addr1p = sess.ctx.mk_bv_add(addr1, one);
                     let non_contiguous = sess.ctx.mk_neq(addr1p, addr2);
                     asserts.extend([same_half_warp, successors, non_contiguous]);
-                    label = format!("non-coalesced[{}#{i}]", a.array);
+                    format!("non-coalesced[{}#{i}]", a.array)
                 }
-            }
+            };
             let goal = sess.ctx.mk_false();
             match sess.query(&label, &asserts, goal) {
                 SmtResult::Unsat => {}

@@ -321,10 +321,8 @@ impl Interp<'_> {
                     } else {
                         truncate((sa.wrapping_div(sb)) as u64, w)
                     }
-                } else if b == 0 {
-                    mask(w)
                 } else {
-                    a / b
+                    a.checked_div(b).unwrap_or(mask(w))
                 }
             }
             BinOp::Rem => {

@@ -1,4 +1,4 @@
-use pug_sat::{Budget, SolveResult, Solver, Var, Lit};
+use pug_sat::{Budget, Lit, Solver, Var};
 fn main() {
     for holes in 2..=5usize {
         let pigeons = holes + 1;
@@ -9,6 +9,7 @@ fn main() {
             let clause: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
             s.add_clause(&clause);
         }
+        #[allow(clippy::needless_range_loop)] // h/i/j symmetry reads better indexed
         for h in 0..holes {
             for i in 0..pigeons {
                 for j in (i + 1)..pigeons {

@@ -1,10 +1,49 @@
-//! Resource budgets: the verifier's analogue of the paper's five-minute
-//! SMT timeout ("T.O" in Tables II/III).
+//! Resource budgets and cooperative cancellation: the verifier's analogue
+//! of the paper's five-minute SMT timeout ("T.O" in Tables II/III), extended
+//! into a full resilience contract — wall clock, search-effort caps, memory
+//! caps and an external kill switch — shared by every layer of the pipeline
+//! (rewriting, bit-blasting, CDCL search).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Cooperative cancellation token. Cloning shares the flag: any holder can
+/// [`cancel`](CancelToken::cancel) a solve running on another thread, and
+/// the solver observes it at propagation / bit-blast granularity, yielding
+/// `Unknown` promptly instead of running to completion.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trip the token. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has the token been tripped?
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Reset to untripped (for token reuse between runs in tests/harnesses).
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
 
 /// Limits on a single `solve` call. Exceeding any limit yields
 /// [`crate::SolveResult::Unknown`].
+///
+/// Also exported as `ResourceBudget`: beyond the original search-effort
+/// limits it caps *memory* (clause-database bytes, hash-consed term count)
+/// and carries a [`CancelToken`] for external aborts.
 #[derive(Clone, Debug, Default)]
 pub struct Budget {
     /// Maximum number of conflicts, if any.
@@ -13,7 +52,21 @@ pub struct Budget {
     pub max_propagations: Option<u64>,
     /// Wall-clock deadline, if any.
     pub deadline: Option<Instant>,
+    /// Cap on the SAT clause database, in bytes of literal storage
+    /// (original + learnt). Exceeding it yields `Unknown` — the analogue
+    /// of a solver memory-out.
+    pub max_clause_bytes: Option<usize>,
+    /// Cap on hash-consed term nodes in the SMT context. Checked by the
+    /// rewriting/array-elimination loops, which can blow up the DAG long
+    /// before the SAT solver starts.
+    pub max_term_nodes: Option<usize>,
+    /// External cancellation. Default token is never tripped.
+    pub cancel: CancelToken,
 }
+
+/// The full resilience contract: `Budget` plus memory caps and
+/// cancellation. (Alias — the two names refer to the same struct.)
+pub type ResourceBudget = Budget;
 
 impl Budget {
     /// No limits: run to completion.
@@ -37,9 +90,31 @@ impl Budget {
         self
     }
 
-    /// True when the counters exceed any configured limit.
-    /// The deadline is only consulted here, so callers should invoke this at a
-    /// coarse cadence (e.g. per conflict) to keep `Instant::now` off hot paths.
+    /// Add a clause-database byte cap to an existing budget.
+    pub fn and_clause_bytes(mut self, bytes: usize) -> Budget {
+        self.max_clause_bytes = Some(bytes);
+        self
+    }
+
+    /// Add a term-node cap to an existing budget.
+    pub fn and_term_nodes(mut self, nodes: usize) -> Budget {
+        self.max_term_nodes = Some(nodes);
+        self
+    }
+
+    /// Attach a cancellation token to an existing budget.
+    pub fn and_cancel(mut self, token: CancelToken) -> Budget {
+        self.cancel = token;
+        self
+    }
+
+    /// True when the counters exceed any configured limit, the deadline has
+    /// passed, or the token was tripped.
+    /// The deadline is only consulted here, so callers should invoke this at
+    /// a coarse cadence (e.g. per conflict) to keep `Instant::now` off hot
+    /// paths; the cancellation check is a single atomic load and is also
+    /// consulted on the finer-grained [`interrupted`](Budget::interrupted)
+    /// path.
     pub fn exhausted(&self, conflicts: u64, propagations: u64) -> bool {
         if let Some(m) = self.max_conflicts {
             if conflicts >= m {
@@ -51,12 +126,40 @@ impl Budget {
                 return true;
             }
         }
+        self.interrupted()
+    }
+
+    /// Deadline-or-cancellation check, for loops that have no conflict /
+    /// propagation counters (bit-blasting, rewriting, extraction).
+    #[inline]
+    pub fn interrupted(&self) -> bool {
+        if self.cancel.is_cancelled() {
+            return true;
+        }
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
                 return true;
             }
         }
         false
+    }
+
+    /// True when the clause database outgrew its byte cap.
+    #[inline]
+    pub fn clause_bytes_exhausted(&self, bytes: usize) -> bool {
+        matches!(self.max_clause_bytes, Some(m) if bytes >= m)
+    }
+
+    /// True when the term DAG outgrew its node cap.
+    #[inline]
+    pub fn term_nodes_exhausted(&self, nodes: usize) -> bool {
+        matches!(self.max_term_nodes, Some(m) if nodes >= m)
+    }
+
+    /// Remaining wall-clock time, if a deadline is set. `Duration::ZERO`
+    /// once the deadline has passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
     }
 }
 
@@ -68,6 +171,9 @@ mod tests {
     fn unlimited_never_exhausts() {
         let b = Budget::unlimited();
         assert!(!b.exhausted(u64::MAX, u64::MAX));
+        assert!(!b.interrupted());
+        assert!(!b.clause_bytes_exhausted(usize::MAX));
+        assert!(!b.term_nodes_exhausted(usize::MAX));
     }
 
     #[test]
@@ -81,5 +187,43 @@ mod tests {
     fn deadline_in_past_exhausts() {
         let b = Budget { deadline: Some(Instant::now() - Duration::from_secs(1)), ..Budget::default() };
         assert!(b.exhausted(0, 0));
+        assert!(b.interrupted());
+    }
+
+    #[test]
+    fn cancellation_trips_everywhere() {
+        let b = Budget::unlimited();
+        assert!(!b.interrupted());
+        b.cancel.cancel();
+        assert!(b.interrupted());
+        assert!(b.exhausted(0, 0));
+        b.cancel.reset();
+        assert!(!b.interrupted());
+    }
+
+    #[test]
+    fn token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().and_cancel(token.clone());
+        let b2 = b.clone();
+        token.cancel();
+        assert!(b.interrupted());
+        assert!(b2.interrupted());
+    }
+
+    #[test]
+    fn memory_caps() {
+        let b = Budget::unlimited().and_clause_bytes(1024).and_term_nodes(10);
+        assert!(!b.clause_bytes_exhausted(1023));
+        assert!(b.clause_bytes_exhausted(1024));
+        assert!(!b.term_nodes_exhausted(9));
+        assert!(b.term_nodes_exhausted(10));
+    }
+
+    #[test]
+    fn remaining_time_saturates() {
+        let b = Budget { deadline: Some(Instant::now() - Duration::from_secs(1)), ..Budget::default() };
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+        assert_eq!(Budget::unlimited().remaining(), None);
     }
 }

@@ -35,11 +35,12 @@
 pub mod budget;
 pub mod clause;
 pub mod dimacs;
+pub mod failpoints;
 mod heap;
 pub mod solver;
 pub mod types;
 
-pub use budget::Budget;
+pub use budget::{Budget, CancelToken, ResourceBudget};
 pub use dimacs::Cnf;
 pub use solver::{SolveResult, Solver, Stats};
 pub use types::{LBool, Lit, Var};

@@ -5,8 +5,9 @@
 //! The design follows MiniSat's architecture; everything is implemented from
 //! scratch here because the verifier must run without an external solver.
 
-use crate::budget::Budget;
+use crate::budget::{Budget, CancelToken};
 use crate::clause::{Clause, ClauseRef, Watcher};
+use crate::failpoints;
 use crate::heap::VarHeap;
 use crate::types::{LBool, Lit, Var};
 
@@ -36,6 +37,10 @@ const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
 const RESTART_BASE: u64 = 100;
+/// Propagations between cancellation-token polls. Small enough that a
+/// tripped token stops the solver within a bounded (and tiny) amount of
+/// work; large enough that the atomic load is invisible in profiles.
+const CANCEL_POLL_INTERVAL: u64 = 64;
 
 /// The CDCL solver.
 pub struct Solver {
@@ -62,6 +67,16 @@ pub struct Solver {
     /// Set when the learnt DB outgrew its cap; reduction runs at the next
     /// restart so the watch lists are only rebuilt at decision level 0.
     reduce_pending: bool,
+    /// Bytes of literal storage across live clauses (original + learnt);
+    /// checked against `Budget::max_clause_bytes`.
+    clause_bytes: usize,
+    /// Token of the budget currently being solved under, polled inside
+    /// `propagate` so cancellation lands at propagation granularity.
+    active_cancel: CancelToken,
+    /// Propagation count at which the token is polled next.
+    cancel_poll_at: u64,
+    /// Set by `propagate` when the active token tripped mid-run.
+    interrupted: bool,
     stats: Stats,
 }
 
@@ -95,6 +110,10 @@ impl Solver {
             num_learnts: 0,
             max_learnts: 8192.0,
             reduce_pending: false,
+            clause_bytes: 0,
+            active_cancel: CancelToken::new(),
+            cancel_poll_at: CANCEL_POLL_INTERVAL,
+            interrupted: false,
             stats: Stats::default(),
         }
     }
@@ -127,6 +146,12 @@ impl Solver {
     /// Cumulative statistics.
     pub fn stats(&self) -> Stats {
         self.stats
+    }
+
+    /// Bytes of literal storage held by live clauses — the quantity capped
+    /// by [`Budget::max_clause_bytes`].
+    pub fn clause_db_bytes(&self) -> usize {
+        self.clause_bytes
     }
 
     /// Whether the clause set is still possibly satisfiable (no top-level
@@ -199,6 +224,7 @@ impl Solver {
         let w1 = !lits[1];
         let blocker0 = lits[1];
         let blocker1 = lits[0];
+        self.clause_bytes += lits.len() * std::mem::size_of::<Lit>();
         self.clauses.push(Clause::new(lits, learnt, lbd));
         self.watches[w0.index()].push(Watcher { cref, blocker: blocker0 });
         self.watches[w1.index()].push(Watcher { cref, blocker: blocker1 });
@@ -220,8 +246,20 @@ impl Solver {
     }
 
     /// Unit propagation; returns the conflicting clause if one arises.
+    ///
+    /// Polls the active cancellation token every [`CANCEL_POLL_INTERVAL`]
+    /// propagations; on a trip it sets `self.interrupted` and returns with
+    /// propagation incomplete (`qhead` marks the resume point, so the
+    /// assignment stack stays consistent).
     fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
+            if self.stats.propagations >= self.cancel_poll_at {
+                self.cancel_poll_at = self.stats.propagations + CANCEL_POLL_INTERVAL;
+                if self.active_cancel.is_cancelled() {
+                    self.interrupted = true;
+                    return None;
+                }
+            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
@@ -477,6 +515,7 @@ impl Solver {
             self.num_learnts -= 1;
         }
         c.deleted = true;
+        self.clause_bytes -= c.lits.len() * std::mem::size_of::<Lit>();
         c.lits = Vec::new();
         self.stats.deleted_clauses += 1;
     }
@@ -515,7 +554,11 @@ impl Solver {
                     self.delete_clause(i);
                     self.assign(unit, None);
                 }
-                _ => self.clauses[i].lits = kept,
+                _ => {
+                    let dropped = self.clauses[i].lits.len() - kept.len();
+                    self.clause_bytes -= dropped * std::mem::size_of::<Lit>();
+                    self.clauses[i].lits = kept;
+                }
             }
         }
     }
@@ -587,7 +630,20 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        // Fault injection: Panic aborts here (isolation layers catch it);
+        // the other faults degrade to the budget-exhausted answer.
+        if failpoints::trip("sat::solve").is_some() {
+            return SolveResult::Unknown;
+        }
         self.conflict_core.clear();
+        self.active_cancel = budget.cancel.clone();
+        self.cancel_poll_at = self.stats.propagations + CANCEL_POLL_INTERVAL;
+        self.interrupted = false;
+        // A budget dead on arrival (tripped token, past deadline, original
+        // clauses already over the memory cap) never enters the search loop.
+        if budget.interrupted() || budget.clause_bytes_exhausted(self.clause_bytes) {
+            return SolveResult::Unknown;
+        }
         let mut restarts = 0u64;
         loop {
             if self.reduce_pending {
@@ -647,7 +703,9 @@ impl Solver {
                 }
                 self.var_inc /= VAR_DECAY;
                 self.cla_inc /= CLA_DECAY;
-                if budget.exhausted(self.stats.conflicts, self.stats.propagations) {
+                if budget.exhausted(self.stats.conflicts, self.stats.propagations)
+                    || budget.clause_bytes_exhausted(self.clause_bytes)
+                {
                     return Some(SolveResult::Unknown);
                 }
                 if self.num_learnts as f64 > self.max_learnts {
@@ -658,6 +716,11 @@ impl Solver {
                     return None;
                 }
             } else {
+                if self.interrupted {
+                    // Token tripped mid-propagation; `qhead` marks where to
+                    // resume, so the partial state stays reusable.
+                    return Some(SolveResult::Unknown);
+                }
                 // Decision: assumptions first, then VSIDS.
                 let mut next = None;
                 while (self.decision_level() as usize) < assumptions.len() {
@@ -803,6 +866,7 @@ mod tests {
         for row in &p {
             s.add_clause(&[row[0].pos(), row[1].pos()]);
         }
+        #[allow(clippy::needless_range_loop)] // h/i/j symmetry reads better indexed
         for h in 0..2 {
             for i in 0..3 {
                 for j in (i + 1)..3 {
@@ -826,6 +890,7 @@ mod tests {
             let c: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
             s.add_clause(&c);
         }
+        #[allow(clippy::needless_range_loop)] // h/i/j symmetry reads better indexed
         for h in 0..m {
             for i in 0..n {
                 for j in (i + 1)..n {

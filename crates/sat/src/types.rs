@@ -22,6 +22,7 @@ impl Var {
 
     /// The negative literal of this variable.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // not a negation of `Var` itself
     pub fn neg(self) -> Lit {
         Lit::new(self, false)
     }

@@ -2,9 +2,7 @@
 //! random CNF instances, plus structured hard families.
 
 use pug_sat::{Budget, Cnf, Lit, SolveResult, Solver, Var};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pug_testutil::TestRng;
 
 /// Exhaustively decide satisfiability of a small CNF.
 fn brute_force(cnf: &Cnf) -> bool {
@@ -30,7 +28,7 @@ fn solve(cnf: &Cnf) -> SolveResult {
     r
 }
 
-fn random_cnf(rng: &mut StdRng, num_vars: usize, num_clauses: usize, width: usize) -> Cnf {
+fn random_cnf(rng: &mut TestRng, num_vars: usize, num_clauses: usize, width: usize) -> Cnf {
     let clauses = (0..num_clauses)
         .map(|_| {
             let len = rng.gen_range(1..=width);
@@ -44,7 +42,7 @@ fn random_cnf(rng: &mut StdRng, num_vars: usize, num_clauses: usize, width: usiz
 
 #[test]
 fn differential_random_3sat() {
-    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let mut rng = TestRng::seed_from_u64(0x5eed);
     for round in 0..500 {
         let nv = rng.gen_range(1..=10);
         let nc = rng.gen_range(1..=45);
@@ -57,7 +55,7 @@ fn differential_random_3sat() {
 
 #[test]
 fn differential_wide_clauses() {
-    let mut rng = StdRng::seed_from_u64(0xfeed);
+    let mut rng = TestRng::seed_from_u64(0xfeed);
     for round in 0..200 {
         let nv = rng.gen_range(2..=12);
         let nc = rng.gen_range(1..=60);
@@ -71,7 +69,7 @@ fn differential_wide_clauses() {
 #[test]
 fn incremental_assumptions_match_clause_addition() {
     // Solving F under assumption l must agree with solving F ∧ {l}.
-    let mut rng = StdRng::seed_from_u64(0xabcd);
+    let mut rng = TestRng::seed_from_u64(0xabcd);
     for _ in 0..200 {
         let nv = rng.gen_range(2..=8);
         let nc = rng.gen_range(1..=30);
@@ -120,6 +118,7 @@ fn pigeonhole_family_unsat() {
             let clause: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
             s.add_clause(&clause);
         }
+        #[allow(clippy::needless_range_loop)] // h/i/j symmetry reads better indexed
         for h in 0..holes {
             for i in 0..pigeons {
                 for j in (i + 1)..pigeons {
@@ -131,20 +130,28 @@ fn pigeonhole_family_unsat() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The solver agrees with brute force on arbitrary small CNFs.
-    #[test]
-    fn prop_matches_brute_force(
-        nv in 1usize..8,
-        raw in prop::collection::vec(prop::collection::vec((0u32..8, any::<bool>()), 1..4), 0..25),
-    ) {
-        let clauses: Vec<Vec<Lit>> = raw
-            .iter()
-            .map(|c| c.iter().map(|&(v, pos)| Lit::new(Var(v % nv as u32), pos)).collect())
+/// The solver agrees with brute force on arbitrary small CNFs
+/// (property-style: 64 generated cases, reproducible from the seed).
+#[test]
+fn prop_matches_brute_force() {
+    let mut rng = TestRng::seed_from_u64(0x9e3779b9);
+    for case in 0..64u32 {
+        let nv = rng.gen_range(1usize..8);
+        let nc = rng.gen_range(0usize..25);
+        let clauses: Vec<Vec<Lit>> = (0..nc)
+            .map(|_| {
+                let len = rng.gen_range(1usize..4);
+                (0..len)
+                    .map(|_| Lit::new(Var(rng.gen_range(0u32..8) % nv as u32), rng.gen_bool(0.5)))
+                    .collect()
+            })
             .collect();
         let cnf = Cnf { num_vars: nv, clauses };
-        prop_assert_eq!(solve(&cnf) == SolveResult::Sat, brute_force(&cnf));
+        assert_eq!(
+            solve(&cnf) == SolveResult::Sat,
+            brute_force(&cnf),
+            "case {case}: mismatch on\n{}",
+            cnf.to_dimacs()
+        );
     }
 }

@@ -19,7 +19,11 @@
 //! counterexample models.
 
 use crate::term::{Ctx, Op, TermId};
+use pug_sat::Budget;
 use std::collections::HashMap;
+
+/// Transform steps between budget polls in the rewriting pass.
+const BUDGET_POLL_INTERVAL: u64 = 256;
 
 /// Result of array elimination.
 pub struct ArrayReduction {
@@ -28,16 +32,44 @@ pub struct ArrayReduction {
     /// Per base array variable: the (index term, fresh value variable) pairs
     /// introduced for its reads. Index terms are array-free.
     pub base_selects: HashMap<TermId, Vec<(TermId, TermId)>>,
+    /// True when the pass was cut short by the budget (deadline, cancel
+    /// token or term-node cap). The assertions are then incomplete and the
+    /// caller must answer `Unknown`.
+    pub interrupted: bool,
 }
 
-/// Eliminate arrays from `assertions` (see module docs).
+/// Eliminate arrays from `assertions` (see module docs), without limits.
 pub fn reduce_arrays(ctx: &mut Ctx, assertions: &[TermId]) -> ArrayReduction {
-    let mut pass = Pass { cache: HashMap::new(), select_vars: HashMap::new(), base_selects: HashMap::new() };
+    reduce_arrays_budgeted(ctx, assertions, &Budget::unlimited())
+}
+
+/// [`reduce_arrays`] honouring a budget: store-chain expansion is quadratic
+/// in chain length and Ackermann expansion quadratic in read count, so on
+/// adversarial inputs the rewrite itself can exhaust time or blow up the
+/// hash-consed term DAG (`Budget::max_term_nodes`) long before bit-blasting.
+pub fn reduce_arrays_budgeted(
+    ctx: &mut Ctx,
+    assertions: &[TermId],
+    budget: &Budget,
+) -> ArrayReduction {
+    let mut pass = Pass {
+        cache: HashMap::new(),
+        select_vars: HashMap::new(),
+        base_selects: HashMap::new(),
+        budget: budget.clone(),
+        steps: 0,
+        aborted: false,
+    };
     let mut out: Vec<TermId> = assertions.iter().map(|&t| pass.transform(ctx, t)).collect();
 
     // Ackermann congruence for every pair of reads of the same base array.
-    for reads in pass.base_selects.values() {
+    'pairs: for reads in pass.base_selects.values() {
         for m in 0..reads.len() {
+            if pass.aborted || budget.interrupted() || budget.term_nodes_exhausted(ctx.num_terms())
+            {
+                pass.aborted = true;
+                break 'pairs;
+            }
             for n in (m + 1)..reads.len() {
                 let (im, vm) = reads[m];
                 let (in_, vn) = reads[n];
@@ -50,7 +82,11 @@ pub fn reduce_arrays(ctx: &mut Ctx, assertions: &[TermId]) -> ArrayReduction {
             }
         }
     }
-    ArrayReduction { assertions: out, base_selects: pass.base_selects }
+    ArrayReduction {
+        assertions: out,
+        base_selects: pass.base_selects,
+        interrupted: pass.aborted,
+    }
 }
 
 struct Pass {
@@ -58,12 +94,27 @@ struct Pass {
     /// Memo: (base array, index) → fresh value variable.
     select_vars: HashMap<(TermId, TermId), TermId>,
     base_selects: HashMap<TermId, Vec<(TermId, TermId)>>,
+    budget: Budget,
+    steps: u64,
+    aborted: bool,
 }
 
 impl Pass {
     fn transform(&mut self, ctx: &mut Ctx, t: TermId) -> TermId {
         if let Some(&r) = self.cache.get(&t) {
             return r;
+        }
+        if self.aborted {
+            return t;
+        }
+        self.steps += 1;
+        if self.steps.is_multiple_of(BUDGET_POLL_INTERVAL)
+            && (self.budget.interrupted() || self.budget.term_nodes_exhausted(ctx.num_terms()))
+        {
+            // Collapse the recursion; partial rewrites stay cached but the
+            // reduction is flagged interrupted so the answer becomes Unknown.
+            self.aborted = true;
+            return t;
         }
         let node = ctx.node(t).clone();
         let result = match node.op {
@@ -198,6 +249,6 @@ mod tests {
         assert_eq!(r1, r2);
         let a = c.mk_eq(r1, r2); // trivially true
         let red = reduce_arrays(&mut c, &[a]);
-        assert!(red.base_selects.get(&arr).map_or(true, |v| v.len() <= 1));
+        assert!(red.base_selects.get(&arr).is_none_or(|v| v.len() <= 1));
     }
 }

@@ -6,14 +6,23 @@
 //! carry-based unsigned comparison.
 
 use crate::term::{Ctx, Op, TermId};
-use pug_sat::{Lit, Solver};
+use pug_sat::{Budget, Lit, Solver};
 use std::collections::HashMap;
+
+/// Terms blasted between budget polls. Each poll costs an `Instant::now`
+/// plus an atomic load, so it stays off the per-gate path.
+const BUDGET_POLL_INTERVAL: u64 = 256;
 
 /// Incremental bit-blaster bound to one SAT solver instance.
 pub struct BitBlaster {
     bool_cache: HashMap<TermId, Lit>,
     bv_cache: HashMap<TermId, Vec<Lit>>,
     true_lit: Lit,
+    /// Budget honoured during encoding (deadline, cancellation, clause-DB
+    /// byte cap). Defaults to unlimited.
+    budget: Budget,
+    steps: u64,
+    aborted: bool,
 }
 
 impl BitBlaster {
@@ -21,7 +30,46 @@ impl BitBlaster {
     pub fn new(solver: &mut Solver) -> BitBlaster {
         let t = solver.new_var().pos();
         solver.add_clause(&[t]);
-        BitBlaster { bool_cache: HashMap::new(), bv_cache: HashMap::new(), true_lit: t }
+        BitBlaster {
+            bool_cache: HashMap::new(),
+            bv_cache: HashMap::new(),
+            true_lit: t,
+            budget: Budget::unlimited(),
+            steps: 0,
+            aborted: false,
+        }
+    }
+
+    /// Honour `budget` while encoding: large circuits (wide multipliers /
+    /// dividers over many threads) can blow past a deadline before the SAT
+    /// search even starts, so the blaster itself polls the deadline, the
+    /// cancellation token and the clause-DB byte cap.
+    pub fn set_budget(&mut self, budget: &Budget) {
+        self.budget = budget.clone();
+    }
+
+    /// True once encoding was cut short by the budget. The CNF handed to the
+    /// solver is then incomplete and the only sound answer is `Unknown`.
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Budget poll shared by the two encoding entry points. On exhaustion
+    /// the recursion collapses: every further term maps to a constant dummy
+    /// that is *not* cached, so a later retry under a fresh budget re-encodes
+    /// correctly.
+    fn out_of_budget(&mut self, solver: &Solver) -> bool {
+        if self.aborted {
+            return true;
+        }
+        self.steps += 1;
+        if self.steps.is_multiple_of(BUDGET_POLL_INTERVAL)
+            && (self.budget.interrupted()
+                || self.budget.clause_bytes_exhausted(solver.clause_db_bytes()))
+        {
+            self.aborted = true;
+        }
+        self.aborted
     }
 
     /// The literal fixed to true.
@@ -53,6 +101,9 @@ impl BitBlaster {
         debug_assert!(ctx.sort(t).is_bool(), "bool_lit on non-Bool term");
         if let Some(&l) = self.bool_cache.get(&t) {
             return l;
+        }
+        if self.out_of_budget(solver) {
+            return self.true_lit; // dummy; caller must consult `aborted()`
         }
         let args = ctx.args(t).to_vec();
         let l = match ctx.op(t).clone() {
@@ -126,7 +177,10 @@ impl BitBlaster {
             }
             op => unreachable!("non-Boolean operator {op:?} at Bool sort"),
         };
-        self.bool_cache.insert(t, l);
+        if !self.aborted {
+            // A result built on top of dummy sub-encodings must not persist.
+            self.bool_cache.insert(t, l);
+        }
         l
     }
 
@@ -136,8 +190,11 @@ impl BitBlaster {
         if let Some(ls) = self.bv_cache.get(&t) {
             return ls.clone();
         }
-        let args = ctx.args(t).to_vec();
         let w = ctx.width(t) as usize;
+        if self.out_of_budget(solver) {
+            return vec![self.lit_false(); w]; // dummy; caller checks `aborted()`
+        }
+        let args = ctx.args(t).to_vec();
         let ls: Vec<Lit> = match ctx.op(t).clone() {
             Op::BvConst { value, .. } => {
                 (0..w).map(|i| self.lit_of_bool(value >> i & 1 == 1)).collect()
@@ -244,7 +301,9 @@ impl BitBlaster {
             op => unreachable!("non-bit-vector operator {op:?} at BitVec sort"),
         };
         debug_assert_eq!(ls.len(), w);
-        self.bv_cache.insert(t, ls.clone());
+        if !self.aborted {
+            self.bv_cache.insert(t, ls.clone());
+        }
         ls
     }
 
@@ -466,6 +525,7 @@ impl BitBlaster {
             _ => self.lit_false(),
         };
         let mut cur = a.to_vec();
+        #[allow(clippy::needless_range_loop)] // `k` is the shift exponent, not just an index
         for k in 0..s.len() {
             let dist = 1usize << k.min(31);
             let shifted: Vec<Lit> = (0..w)

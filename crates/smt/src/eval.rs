@@ -123,7 +123,7 @@ fn eval_node(ctx: &Ctx, t: TermId, env: &Env, cache: &mut HashMap<TermId, Value>
         Op::BvMul => Value::Bv(truncate(bv(cache, 0).wrapping_mul(bv(cache, 1)), w), w),
         Op::BvUdiv => {
             let (a, b) = (bv(cache, 0), bv(cache, 1));
-            Value::Bv(if b == 0 { mask(w) } else { a / b }, w)
+            Value::Bv(a.checked_div(b).unwrap_or(mask(w)), w)
         }
         Op::BvUrem => {
             let (a, b) = (bv(cache, 0), bv(cache, 1));

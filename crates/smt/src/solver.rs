@@ -1,6 +1,6 @@
 //! The check pipeline: rewrite → array elimination → bit-blast → CDCL.
 
-use crate::arrays::reduce_arrays;
+use crate::arrays::reduce_arrays_budgeted;
 use crate::bitblast::BitBlaster;
 use crate::eval::{Env, Value};
 use crate::model::{default_value, Model};
@@ -65,6 +65,12 @@ pub fn check_detailed(
 ) -> (SmtResult, CheckStats) {
     let mut stats = CheckStats::default();
 
+    // Fault injection: Panic aborts here; the other faults degrade to the
+    // budget-exhausted answer.
+    if pug_sat::failpoints::trip("smt::check").is_some() {
+        return (SmtResult::Unknown, stats);
+    }
+
     // Trivial cases after constructor-level rewriting.
     let mut live: Vec<TermId> = Vec::new();
     for &a in assertions {
@@ -78,11 +84,17 @@ pub fn check_detailed(
         return (SmtResult::Sat(Model::new(Env::new())), stats);
     }
 
-    let reduction = reduce_arrays(ctx, &live);
+    // Rewriting can blow up the term DAG (store chains, Ackermann pairs)
+    // before any CNF exists, so it runs under the same budget.
+    let reduction = reduce_arrays_budgeted(ctx, &live, budget);
     stats.reduced_assertions = reduction.assertions.len();
+    if reduction.interrupted {
+        return (SmtResult::Unknown, stats);
+    }
 
     let mut sat = Solver::new();
     let mut blaster = BitBlaster::new(&mut sat);
+    blaster.set_budget(budget);
     for &a in &reduction.assertions {
         match ctx.const_bool(a) {
             Some(true) => continue,
@@ -92,6 +104,10 @@ pub fn check_detailed(
     }
     stats.cnf_vars = sat.num_vars();
     stats.cnf_clauses = sat.num_clauses();
+    if blaster.aborted() {
+        // The CNF is truncated; solving it would be unsound either way.
+        return (SmtResult::Unknown, stats);
+    }
 
     let result = sat.solve(budget);
     stats.sat = sat.stats();

@@ -56,7 +56,7 @@ impl fmt::Display for Sort {
 /// Mask selecting the low `w` bits of a `u64`.
 #[inline]
 pub fn mask(w: u32) -> u64 {
-    debug_assert!(w >= 1 && w <= 64);
+    debug_assert!((1..=64).contains(&w));
     if w == 64 {
         u64::MAX
     } else {

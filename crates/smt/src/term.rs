@@ -468,7 +468,7 @@ impl Ctx {
         let w = self.bv2(a, b);
         match (self.const_bv(a), self.const_bv(b)) {
             (Some(x), Some(y)) => {
-                let r = if y == 0 { mask(w) } else { x / y };
+                let r = x.checked_div(y).unwrap_or(mask(w));
                 return self.mk_bv_const(r, w);
             }
             (_, Some(1)) => return a,

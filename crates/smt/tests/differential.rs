@@ -8,22 +8,21 @@
 //! `term != expected` under fully fixed inputs and expect Unsat.
 
 use pug_smt::{check, Budget, Ctx, Env, SmtResult, Sort, TermId, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pug_testutil::TestRng;
 
 struct Gen {
-    rng: StdRng,
+    rng: TestRng,
     vars: Vec<(TermId, u64)>,
     width: u32,
 }
 
 impl Gen {
     fn new(seed: u64, width: u32, ctx: &mut Ctx, nvars: usize) -> Gen {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         let vars = (0..nvars)
             .map(|i| {
                 let v = ctx.mk_var(&format!("v{i}_{width}_{seed}"), Sort::BitVec(width));
-                let val = rng.gen::<u64>() & pug_smt::sort::mask(width);
+                let val = rng.gen_u64() & pug_smt::sort::mask(width);
                 (v, val)
             })
             .collect();
@@ -40,7 +39,7 @@ impl Gen {
             return if self.rng.gen_bool(0.5) {
                 self.vars[self.rng.gen_range(0..self.vars.len())].0
             } else {
-                let v = self.rng.gen::<u64>();
+                let v = self.rng.gen_u64();
                 ctx.mk_bv_const(v, self.width)
             };
         }
@@ -196,7 +195,7 @@ fn arrays_differential() {
     let mut ctx = Ctx::new();
     let w = 8;
     for seed in 0..30u64 {
-        let mut rng = StdRng::seed_from_u64(seed + 999);
+        let mut rng = TestRng::seed_from_u64(seed + 999);
         let arr = ctx.mk_var(&format!("arr{seed}"), Sort::Array { index: w, elem: w });
         let base_entries: std::collections::HashMap<u64, u64> =
             (0..4).map(|_| (rng.gen_range(0..16), rng.gen_range(0..256))).collect();

@@ -2,8 +2,8 @@
 //! must preserve semantics, hash-consing must canonicalize, and
 //! substitution must commute with evaluation.
 
-use proptest::prelude::*;
 use pug_smt::{Ctx, Env, Sort, TermId, Value};
+use pug_testutil::TestRng;
 
 /// A small expression AST we can both build as terms and evaluate directly.
 #[derive(Clone, Debug)]
@@ -23,27 +23,30 @@ enum E {
     Ite(Box<E>, Box<E>, Box<E>),
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![(0u8..3).prop_map(E::Var), any::<u64>().prop_map(E::Const)];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shl(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lshr(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| E::Not(Box::new(a))),
-            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| E::Ite(
-                Box::new(c),
-                Box::new(a),
-                Box::new(b)
-            )),
-        ]
-    })
+/// Random expression of bounded depth (property-style generation on a
+/// deterministic seed; every failure reproduces from the case number).
+fn arb_expr(rng: &mut TestRng, depth: usize) -> E {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.5) {
+            E::Var(rng.gen_range(0u8..3))
+        } else {
+            E::Const(rng.gen_u64())
+        };
+    }
+    let sub = |rng: &mut TestRng| Box::new(arb_expr(rng, depth - 1));
+    match rng.gen_range(0u32..11) {
+        0 => E::Add(sub(rng), sub(rng)),
+        1 => E::Sub(sub(rng), sub(rng)),
+        2 => E::Mul(sub(rng), sub(rng)),
+        3 => E::And(sub(rng), sub(rng)),
+        4 => E::Or(sub(rng), sub(rng)),
+        5 => E::Xor(sub(rng), sub(rng)),
+        6 => E::Shl(sub(rng), sub(rng)),
+        7 => E::Lshr(sub(rng), sub(rng)),
+        8 => E::Not(sub(rng)),
+        9 => E::Neg(sub(rng)),
+        _ => E::Ite(sub(rng), sub(rng), sub(rng)),
+    }
 }
 
 const W: u32 = 8;
@@ -142,13 +145,13 @@ fn reference(e: &E, vars: &[u64; 3]) -> u64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The simplifying constructors preserve concrete semantics.
-    #[test]
-    fn constructors_preserve_semantics(e in arb_expr(), vars in [any::<u64>(); 3]) {
-        let vars = [vars[0] & 0xff, vars[1] & 0xff, vars[2] & 0xff];
+/// The simplifying constructors preserve concrete semantics.
+#[test]
+fn constructors_preserve_semantics() {
+    let mut rng = TestRng::seed_from_u64(0xc0ffee);
+    for case in 0..256u32 {
+        let e = arb_expr(&mut rng, 4);
+        let vars = [rng.gen_u64() & 0xff, rng.gen_u64() & 0xff, rng.gen_u64() & 0xff];
         let mut ctx = Ctx::new();
         let t = build(&mut ctx, &e);
         let env: Env = (0..3)
@@ -158,23 +161,31 @@ proptest! {
             })
             .collect();
         let got = pug_smt::eval::eval(&ctx, t, &env).as_bv();
-        prop_assert_eq!(got, reference(&e, &vars));
+        assert_eq!(got, reference(&e, &vars), "case {case}: {e:?}");
     }
+}
 
-    /// Hash-consing: building the same expression twice yields one TermId.
-    #[test]
-    fn hash_consing_is_canonical(e in arb_expr()) {
+/// Hash-consing: building the same expression twice yields one TermId.
+#[test]
+fn hash_consing_is_canonical() {
+    let mut rng = TestRng::seed_from_u64(0xcafe);
+    for case in 0..256u32 {
+        let e = arb_expr(&mut rng, 4);
         let mut ctx = Ctx::new();
         let a = build(&mut ctx, &e);
         let b = build(&mut ctx, &e);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: {e:?}");
     }
+}
 
-    /// Substitution commutes with evaluation: eval(t[x→c]) == eval(t) with
-    /// x bound to c.
-    #[test]
-    fn substitution_commutes_with_eval(e in arb_expr(), vars in [any::<u64>(); 3]) {
-        let vars = [vars[0] & 0xff, vars[1] & 0xff, vars[2] & 0xff];
+/// Substitution commutes with evaluation: eval(t[x→c]) == eval(t) with
+/// x bound to c.
+#[test]
+fn substitution_commutes_with_eval() {
+    let mut rng = TestRng::seed_from_u64(0xbeef);
+    for case in 0..256u32 {
+        let e = arb_expr(&mut rng, 4);
+        let vars = [rng.gen_u64() & 0xff, rng.gen_u64() & 0xff, rng.gen_u64() & 0xff];
         let mut ctx = Ctx::new();
         let t = build(&mut ctx, &e);
         // substitute v0 by its constant
@@ -190,19 +201,23 @@ proptest! {
             .collect();
         let a = pug_smt::eval::eval(&ctx, t, &env).as_bv();
         let b = pug_smt::eval::eval(&ctx, t2, &env).as_bv();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: {e:?}");
     }
+}
 
-    /// dag_size is positive and monotone under wrapping in an operation.
-    #[test]
-    fn dag_size_sane(e in arb_expr()) {
+/// dag_size is positive and monotone under wrapping in an operation.
+#[test]
+fn dag_size_sane() {
+    let mut rng = TestRng::seed_from_u64(0xd46);
+    for case in 0..256u32 {
+        let e = arb_expr(&mut rng, 4);
         let mut ctx = Ctx::new();
         let t = build(&mut ctx, &e);
         let n = ctx.dag_size(t);
-        prop_assert!(n >= 1);
+        assert!(n >= 1, "case {case}");
         let one = ctx.mk_bv_const(1, W);
         let t2 = ctx.mk_bv_add(t, one);
         // adding a fresh node can only grow (or keep, if simplified) the DAG
-        prop_assert!(ctx.dag_size(t2) + 1 >= n);
+        assert!(ctx.dag_size(t2) + 1 >= n, "case {case}: {e:?}");
     }
 }

@@ -1,0 +1,187 @@
+//! # pug-testutil — deterministic test helpers
+//!
+//! The workspace builds in fully offline environments, so the test suites
+//! cannot pull `rand`/`proptest` from a registry. This crate provides the
+//! small slice of that functionality the suites actually use: a seedable,
+//! deterministic PRNG with range/bool sampling, and a micro-benchmark
+//! timing helper for the `cargo bench` harnesses.
+//!
+//! The generator is SplitMix64 (Steele, Lea & Flood; the seeding generator
+//! of xoshiro): 64-bit state, full-period, passes BigCrush for the scales
+//! used here. Determinism matters more than statistical perfection: every
+//! failure reproduces from the printed seed.
+
+use std::ops::{Range, RangeInclusive};
+use std::time::{Duration, Instant};
+
+/// Deterministic seedable PRNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the generator. Equal seeds give equal streams forever.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample from a range (`lo..hi` or `lo..=hi`).
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 uniform mantissa bits, exactly how `rand` derives its f64s.
+        let x = (self.gen_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+
+    /// Uniform `u64` below `bound` (debiased by rejection).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire-style rejection: retry in the biased zone.
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let x = self.gen_u64();
+            if x < zone {
+                return x % bound;
+            }
+        }
+    }
+}
+
+/// Ranges [`TestRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut TestRng) -> T;
+}
+
+macro_rules! impl_sample {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.gen_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return rng.gen_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i32, i64);
+
+/// Time `iters` runs of `f` and report the mean, for the bench harnesses.
+pub fn bench<F: FnMut()>(label: &str, iters: u32, mut f: F) {
+    // One warm-up run keeps lazy initialization out of the measurement.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let mean = total / iters;
+    println!("{label:<40} {:>12} /iter  ({iters} iters)", format_duration(mean));
+}
+
+fn format_duration(d: Duration) -> String {
+    if d >= Duration::from_secs(1) {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if d >= Duration::from_millis(1) {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1} µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = TestRng::seed_from_u64(7);
+        let mut b = TestRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_u64(), b.gen_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u64 = rng.gen_range(5..=5);
+            assert_eq!(y, 5);
+            let z: u32 = rng.gen_range(0..2);
+            assert!(z < 2);
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn range_distribution_covers_values() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

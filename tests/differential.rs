@@ -10,19 +10,18 @@
 
 use pug_ir::{ConcreteInputs, GpuConfig};
 use pug_smt::{Env, Value};
+use pug_testutil::TestRng;
 use pugpara::KernelUnit;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// A tiny random kernel generator over the supported subset.
 struct Gen {
-    rng: StdRng,
+    rng: TestRng,
 }
 
 impl Gen {
     fn new(seed: u64) -> Gen {
-        Gen { rng: StdRng::seed_from_u64(seed) }
+        Gen { rng: TestRng::seed_from_u64(seed) }
     }
 
     /// Integer expressions over tid.x, the scalar `p`, reads of `in`, and
@@ -38,7 +37,7 @@ impl Gen {
         }
         let a = self.expr(depth - 1);
         let b = self.expr(depth - 1);
-        let op = ["+", "-", "*", "&", "|", "^", "%", "/"][self.rng.gen_range(0..8)];
+        let op = ["+", "-", "*", "&", "|", "^", "%", "/"][self.rng.gen_range(0..8usize)];
         format!("({a} {op} {b})")
     }
 
@@ -57,12 +56,12 @@ impl Gen {
     fn cond(&mut self) -> String {
         let a = self.expr(1);
         let b = self.expr(1);
-        let op = ["<", "<=", "==", "!=", ">", ">="][self.rng.gen_range(0..6)];
+        let op = ["<", "<=", "==", "!=", ">", ">="][self.rng.gen_range(0..6usize)];
         format!("({a}) {op} ({b})")
     }
 
     fn stmt(&mut self, depth: usize) -> String {
-        match self.rng.gen_range(0..6) {
+        match self.rng.gen_range(0..6usize) {
             0 => format!("out[{}] = {};", self.idx(1), self.expr(2)),
             1 => format!("int l{} = {};", self.rng.gen_range(0..3), self.expr(2)),
             2 if depth > 0 => {
@@ -168,7 +167,12 @@ fn param_self_equivalence_on_random_race_free_kernels() {
     use std::time::Duration;
     let opts = CheckOptions::with_timeout(Duration::from_secs(60));
     let mut race_free_seen = 0;
-    for seed in 0..24u64 {
+    // The generator mostly emits racy kernels; scan seeds until enough
+    // race-free ones have been exercised (deterministic, bounded).
+    for seed in 0..96u64 {
+        if race_free_seen >= 4 {
+            break;
+        }
         let mut g = Gen::new(seed * 131 + 3);
         let src = g.kernel();
         let unit = KernelUnit::load(&src).unwrap();

@@ -1,0 +1,221 @@
+//! Fault-injection integration suite: the resilient runner must survive
+//! solver panics, injected budget exhaustion, and spurious Unknowns —
+//! descending the degradation ladder, carrying provenance, and never
+//! aborting or hanging past the watchdog.
+//!
+//! Failpoints are process-global, so every test takes `FAULT_LOCK` and
+//! resets the registry on drop (even on assertion failure).
+
+use pugpara::failpoints::{self, Fault};
+use pugpara::runner::{run_resilient, Rung, RungOutcome, RunnerOptions};
+use pugpara::KernelUnit;
+use pug_ir::GpuConfig;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes fault tests and guarantees `failpoints::reset()` on exit.
+struct FaultScope(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl FaultScope {
+    fn armed(sites: &[(&str, Fault)]) -> FaultScope {
+        let guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        failpoints::reset();
+        for &(site, fault) in sites {
+            failpoints::arm(site, fault);
+        }
+        FaultScope(guard)
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        failpoints::reset();
+    }
+}
+
+fn transpose_pair() -> (KernelUnit, KernelUnit) {
+    let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+    let buggy = KernelUnit::load(pug_kernels::transpose::BUGGY_ADDR).unwrap();
+    (naive, buggy)
+}
+
+fn outcome_of(report: &pugpara::ResilientReport, rung: Rung) -> &RungOutcome {
+    &report
+        .provenance
+        .rungs
+        .iter()
+        .find(|r| r.rung == rung)
+        .unwrap_or_else(|| panic!("no record for rung {rung}"))
+        .outcome
+}
+
+/// A panicking Param rung is caught, recorded, and the ladder answers on a
+/// lower rung with the soundness downgrade attached.
+#[test]
+fn ladder_survives_param_rung_panic() {
+    let _scope = FaultScope::armed(&[("runner::param", Fault::Panic)]);
+    let (naive, _) = transpose_pair();
+    let report =
+        run_resilient(&naive, &naive, &GpuConfig::symbolic_2d(8), &RunnerOptions::default());
+
+    assert!(
+        matches!(outcome_of(&report, Rung::Param), RungOutcome::Crashed(_)),
+        "Param must be recorded as crashed: {}",
+        report.provenance.render()
+    );
+    assert!(report.verdict.is_verified(), "{}", report.provenance.render());
+    assert_eq!(report.provenance.answered_by, Some(Rung::NonParam { n: 4 }));
+    assert!(
+        report.provenance.soundness_note.is_some(),
+        "a NonParam answer must carry a downgrade note"
+    );
+    assert!(matches!(
+        report.verdict,
+        pugpara::Verdict::Verified(pugpara::Soundness::UnderApprox)
+    ));
+}
+
+/// Injected budget exhaustion at a rung behaves exactly like a timeout.
+#[test]
+fn injected_exhaustion_is_a_rung_timeout() {
+    let _scope = FaultScope::armed(&[("runner::param", Fault::BudgetExhausted)]);
+    let (naive, _) = transpose_pair();
+    let report =
+        run_resilient(&naive, &naive, &GpuConfig::symbolic_2d(8), &RunnerOptions::default());
+
+    assert!(matches!(outcome_of(&report, Rung::Param), RungOutcome::Timeout));
+    assert!(report.verdict.is_verified(), "{}", report.provenance.render());
+    assert_eq!(report.provenance.answered_by, Some(Rung::NonParam { n: 4 }));
+}
+
+/// A panic *inside the SAT solver* (not at a runner site) is still caught
+/// at the rung boundary and the ladder keeps descending. Rungs whose
+/// queries the rewriter discharges without the SAT solver may still answer
+/// (that is the degradation ladder working); the hard guarantees are that
+/// every solver-reaching rung records a crash, nothing aborts the process,
+/// and any adopted verdict is honestly downgraded.
+#[test]
+fn solver_panic_poisons_every_rung_but_never_aborts() {
+    let _scope = FaultScope::armed(&[("sat::solve", Fault::Panic)]);
+    let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+    let opt = KernelUnit::load(pug_kernels::transpose::OPTIMIZED).unwrap();
+    let report =
+        run_resilient(&naive, &opt, &GpuConfig::symbolic_2d(8), &RunnerOptions::default());
+
+    // The fully parameterized proof needs the solver, so rung one crashes.
+    assert!(
+        matches!(outcome_of(&report, Rung::Param), RungOutcome::Crashed(_)),
+        "{}",
+        report.provenance.render()
+    );
+    match report.provenance.answered_by {
+        // A weaker rung got through without SAT: verdict must be downgraded.
+        Some(rung) => {
+            assert_ne!(rung, Rung::Param, "{}", report.provenance.render());
+            assert!(report.provenance.soundness_note.is_some());
+            assert!(!report.verdict.is_bug(), "no bug exists in this pair");
+        }
+        // Or every rung needed the solver: full history, Timeout verdict.
+        None => {
+            assert!(report.verdict.is_timeout(), "{}", report.provenance.render());
+            for r in &report.provenance.rungs {
+                assert!(
+                    matches!(
+                        r.outcome,
+                        RungOutcome::Crashed(_) | RungOutcome::Timeout | RungOutcome::Skipped(_)
+                    ),
+                    "rung {} escaped the fault: {}",
+                    r.rung,
+                    r.outcome
+                );
+            }
+        }
+    }
+}
+
+/// Spurious Unknowns from the SMT layer look like timeouts on every rung;
+/// disarming restores normal operation in the same process (sticky faults
+/// do not leak).
+#[test]
+fn spurious_unknown_descends_then_recovers() {
+    let (naive, _) = transpose_pair();
+    let cfg = GpuConfig::symbolic_2d(8);
+    {
+        let _scope = FaultScope::armed(&[("smt::check", Fault::SpuriousUnknown)]);
+        let report = run_resilient(&naive, &naive, &cfg, &RunnerOptions::default());
+        assert!(report.verdict.is_timeout(), "{}", report.provenance.render());
+        for r in &report.provenance.rungs {
+            assert!(
+                matches!(r.outcome, RungOutcome::Timeout | RungOutcome::Skipped(_)),
+                "rung {}: {}",
+                r.rung,
+                r.outcome
+            );
+        }
+    }
+    // Registry is clean again: the very same check now proves on rung one.
+    let _scope = FaultScope::armed(&[]);
+    let report = run_resilient(&naive, &naive, &cfg, &RunnerOptions::default());
+    assert_eq!(report.provenance.answered_by, Some(Rung::Param));
+    assert!(report.verdict.is_verified());
+    assert!(report.provenance.soundness_note.is_none());
+}
+
+/// Bugs found on a fallback rung are reported as bugs — a crash above must
+/// not mask a real non-equivalence below.
+#[test]
+fn bug_survives_faulted_upper_rungs() {
+    let _scope = FaultScope::armed(&[("runner::param", Fault::Panic)]);
+    let (naive, buggy) = transpose_pair();
+    let report =
+        run_resilient(&naive, &buggy, &GpuConfig::symbolic_2d(8), &RunnerOptions::default());
+
+    assert!(report.verdict.is_bug(), "{}", report.provenance.render());
+    assert!(matches!(report.provenance.answered_by, Some(Rung::NonParam { .. })));
+}
+
+/// The Param+C rung is exercised when concretizations are configured: with
+/// Param faulted, the pinned-parameter rung answers and the verdict is
+/// downgraded accordingly.
+#[test]
+fn concretized_rung_catches_param_fault() {
+    let _scope = FaultScope::armed(&[("runner::param", Fault::BudgetExhausted)]);
+    let (naive, _) = transpose_pair();
+    let opts = RunnerOptions::default().concretized("width", 8).concretized("height", 8);
+    let report = run_resilient(&naive, &naive, &GpuConfig::symbolic_2d(8), &opts);
+
+    assert_eq!(
+        report.provenance.answered_by,
+        Some(Rung::ParamConcretized),
+        "{}",
+        report.provenance.render()
+    );
+    assert!(matches!(
+        report.verdict,
+        pugpara::Verdict::Verified(pugpara::Soundness::UnderApprox)
+    ));
+    assert!(report.provenance.soundness_note.as_deref().unwrap_or("").contains("pinned"));
+}
+
+/// Ladder runs are bounded in wall-clock even when every rung times out:
+/// per-rung watchdog deadlines keep the whole descent under
+/// rungs × (timeout + grace).
+#[test]
+fn faulted_ladder_finishes_promptly() {
+    let _scope = FaultScope::armed(&[("smt::check", Fault::SpuriousUnknown)]);
+    let (naive, _) = transpose_pair();
+    let opts = RunnerOptions {
+        rung_timeout: Some(Duration::from_secs(5)),
+        ..RunnerOptions::default()
+    };
+    let started = std::time::Instant::now();
+    let report = run_resilient(&naive, &naive, &GpuConfig::symbolic_2d(8), &opts);
+    assert!(report.verdict.is_timeout());
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "faulted ladder took {:?}",
+        started.elapsed()
+    );
+}
