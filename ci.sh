@@ -1,18 +1,34 @@
 #!/usr/bin/env bash
-# Repo CI: build, full test suite, lints, and the fault-injection smoke.
+# Repo CI: build, full test suite, lints, and the fault-injection smokes
+# (sequential ladder and portfolio racing). Prints a per-suite wall-clock
+# summary at the end so slow suites are visible in the log.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --workspace --release
+SUITES=()
+TIMES=()
 
-echo "==> cargo test"
-cargo test --workspace -q
+run_suite() {
+  local name="$1"
+  shift
+  echo "==> $name"
+  local start=$SECONDS
+  "$@"
+  SUITES+=("$name")
+  TIMES+=("$((SECONDS - start))")
+}
 
-echo "==> cargo clippy"
-cargo clippy --workspace --all-targets -- -D warnings
+run_suite "cargo build --release" cargo build --workspace --release
+run_suite "cargo test" cargo test --workspace -q
+run_suite "cargo clippy" cargo clippy --workspace --all-targets -- -D warnings
+run_suite "fault-injection smoke (sequential)" \
+  cargo run --release -p pug-bench --bin repro-tables -- --fault-injection --timeout 20
+run_suite "fault-injection smoke (portfolio)" \
+  cargo run --release -p pug-bench --bin repro-tables -- --portfolio --fault-injection
 
-echo "==> fault-injection smoke"
-cargo run --release -p pug-bench --bin repro-tables -- --fault-injection --timeout 20
-
+echo
+echo "== wall-clock summary"
+for i in "${!SUITES[@]}"; do
+  printf '%-40s %4ss\n' "${SUITES[$i]}" "${TIMES[$i]}"
+done
 echo "CI OK"

@@ -18,6 +18,7 @@ struct Args {
     timeout: Duration,
     quick: bool,
     fault_injection: bool,
+    portfolio: bool,
 }
 
 fn parse_args() -> Args {
@@ -26,6 +27,7 @@ fn parse_args() -> Args {
         timeout: Duration::from_secs(60),
         quick: false,
         fault_injection: false,
+        portfolio: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -38,6 +40,7 @@ fn parse_args() -> Args {
             }
             "--quick" => args.quick = true,
             "--fault-injection" => args.fault_injection = true,
+            "--portfolio" => args.portfolio = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -51,7 +54,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro-tables [--table 2|3|scaling|all] [--timeout SECS] [--quick] \
-         [--fault-injection]"
+         [--fault-injection] [--portfolio]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -115,6 +118,25 @@ fn fault_injection_smoke(timeout: Duration) {
 
 fn main() {
     let args = parse_args();
+    if args.portfolio {
+        if args.fault_injection {
+            let failures = pug_bench::portfolio_fault_smoke();
+            if failures > 0 {
+                eprintln!("portfolio fault-injection smoke: {failures} scenario(s) failed");
+                std::process::exit(1);
+            }
+            println!("portfolio fault-injection smoke: all faults survived, every task resolved");
+            return;
+        }
+        let rows = pug_bench::portfolio_rows(args.quick);
+        println!("{}", pug_bench::render_race_rows(&rows));
+        println!("{}", pug_bench::batch_demo());
+        if rows.iter().any(|r| !r.verdicts_match()) {
+            eprintln!("portfolio: racing diverged from the sequential ladder");
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.fault_injection {
         fault_injection_smoke(args.timeout);
         return;

@@ -14,7 +14,9 @@
 //! EXPERIMENTS.md for the side-by-side record.
 
 pub mod cells;
+pub mod portfolio;
 pub mod tables;
 
 pub use cells::Outcome;
+pub use portfolio::{batch_demo, portfolio_fault_smoke, portfolio_rows, render_race_rows, RaceRow};
 pub use tables::{render_rows, scaling_rows, table2_rows, table3_rows, TableRow};

@@ -1,0 +1,353 @@
+//! `repro-tables --portfolio` — sequential ladder vs portfolio racing.
+//!
+//! Runs the same degradation ladder twice per kernel pair: descending
+//! sequentially ([`run_resilient`]) and racing all rungs concurrently
+//! ([`run_portfolio`]), then reports verdict agreement and the wall-clock
+//! ratio. The interesting rows are the ones where upper rungs *time out*:
+//! there the sequential ladder pays the sum of every deadline on the way
+//! down while racing pays only the longest one — deadline-bound waiting
+//! overlaps even on a single core. Rows whose first rung answers
+//! immediately show a ratio near 1: racing never wins by much when there
+//! is nothing to overlap, it only has to not lose.
+//!
+//! The grid doubles as the portfolio acceptance harness: every row's
+//! racing verdict must equal its sequential verdict (same rung, same
+//! soundness level), and the batch demo shows [`verify_all`] returning
+//! input-ordered results with per-task provenance.
+
+use crate::cells::Outcome;
+use pug_ir::GpuConfig;
+use pug_sat::failpoints::{self, Fault};
+use pugpara::portfolio::{run_portfolio, verify_all, PortfolioOptions, VerifyTask};
+use pugpara::runner::{run_resilient, ResilientReport, RunnerOptions};
+use pugpara::{KernelUnit, Soundness, Verdict};
+use std::time::{Duration, Instant};
+
+/// One kernel pair of the comparison grid, with its ladder policy.
+struct GridPair {
+    name: &'static str,
+    src: KernelUnit,
+    tgt: KernelUnit,
+    cfg: GpuConfig,
+    opts: RunnerOptions,
+    /// Equivalence rows are the speedup target; bug rows only have to
+    /// agree on the verdict.
+    equivalence: bool,
+}
+
+/// One finished comparison row.
+pub struct RaceRow {
+    pub name: String,
+    pub equivalence: bool,
+    pub seq: ResilientReport,
+    pub seq_wall: Duration,
+    pub race: ResilientReport,
+    pub race_wall: Duration,
+}
+
+impl RaceRow {
+    /// Verdict + soundness + answering rung all agree.
+    pub fn verdicts_match(&self) -> bool {
+        verdict_label(&self.seq) == verdict_label(&self.race)
+            && self.seq.provenance.answered_by == self.race.provenance.answered_by
+    }
+
+    /// Sequential wall-clock over racing wall-clock.
+    pub fn speedup(&self) -> f64 {
+        self.seq_wall.as_secs_f64() / self.race_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Short verdict label in the tables' notation: `ok` / `ok~` (verified,
+/// under-approximate) / `s*` (bug, correctly reported) / `T.O`.
+pub fn verdict_label(r: &ResilientReport) -> String {
+    match &r.verdict {
+        Verdict::Verified(Soundness::Sound) => "ok".into(),
+        Verdict::Verified(Soundness::UnderApprox) => "ok~".into(),
+        Verdict::Bug(_) => "s*".into(),
+        Verdict::Timeout => "T.O".into(),
+    }
+}
+
+/// The comparison grid. The two transpose −C. rows are the headline: the
+/// fully-symbolic Param rung needs ~19 s at 8 bits (T.O beyond) and the
+/// NonParam(144) fallback is far over any small deadline, so with a
+/// per-rung deadline the sequential ladder burns `2 × rung_timeout`
+/// before NonParam(4) answers — racing overlaps both waits. The remaining
+/// rows answer on the first rung and pin the ratio floor near 1.
+fn grid(quick: bool) -> Vec<GridPair> {
+    let load = |s: &str| KernelUnit::load(s).expect("bundled kernel loads");
+    let hard = |timeout_secs: u64| RunnerOptions {
+        rung_timeout: Some(Duration::from_secs(timeout_secs)),
+        fallback_ns: vec![144, 4],
+        ..RunnerOptions::default()
+    };
+    let mut pairs = vec![GridPair {
+        name: "Transpose -C. (8b)",
+        src: load(pug_kernels::transpose::NAIVE),
+        tgt: load(pug_kernels::transpose::OPTIMIZED),
+        cfg: GpuConfig::symbolic_2d(8),
+        opts: hard(6),
+        equivalence: true,
+    }];
+    if !quick {
+        pairs.push(GridPair {
+            name: "Transpose -C. (16b)",
+            src: load(pug_kernels::transpose::NAIVE),
+            tgt: load(pug_kernels::transpose::OPTIMIZED),
+            cfg: GpuConfig::symbolic_2d(16),
+            opts: hard(4),
+            equivalence: true,
+        });
+    }
+    pairs.extend([
+        GridPair {
+            name: "Reduction v0/v1 (8b)",
+            src: load(pug_kernels::reduction::V0),
+            tgt: load(pug_kernels::reduction::V1),
+            cfg: GpuConfig::symbolic_1d(8),
+            opts: RunnerOptions::default(),
+            equivalence: true,
+        },
+        GridPair {
+            name: "Transpose bug (16b)",
+            src: load(pug_kernels::transpose::NAIVE),
+            tgt: load(pug_kernels::transpose::BUGGY_ADDR),
+            cfg: GpuConfig::symbolic_2d(16),
+            opts: RunnerOptions::default(),
+            equivalence: false,
+        },
+        GridPair {
+            name: "Reduction bug (8b)",
+            src: load(pug_kernels::reduction::V0),
+            tgt: load(pug_kernels::reduction::BUGGY_INDEX),
+            cfg: GpuConfig::symbolic_1d(8),
+            opts: RunnerOptions::default(),
+            equivalence: false,
+        },
+        GridPair {
+            name: "VectorAdd bug (8b)",
+            src: load(pug_kernels::vector_add::KERNEL),
+            tgt: load(pug_kernels::vector_add::BUGGY),
+            cfg: GpuConfig::symbolic_1d(8),
+            opts: RunnerOptions::default(),
+            equivalence: false,
+        },
+    ]);
+    pairs
+}
+
+/// Run every grid pair sequentially, then racing, under identical ladder
+/// options.
+pub fn portfolio_rows(quick: bool) -> Vec<RaceRow> {
+    grid(quick)
+        .into_iter()
+        .map(|p| {
+            let t0 = Instant::now();
+            let seq = run_resilient(&p.src, &p.tgt, &p.cfg, &p.opts);
+            let seq_wall = t0.elapsed();
+            let t1 = Instant::now();
+            let race =
+                run_portfolio(&p.src, &p.tgt, &p.cfg, &PortfolioOptions::with_runner(p.opts));
+            let race_wall = t1.elapsed();
+            RaceRow { name: p.name.to_string(), equivalence: p.equivalence, seq, seq_wall, race, race_wall }
+        })
+        .collect()
+}
+
+/// Render the comparison table plus the two acceptance summary lines.
+pub fn render_race_rows(rows: &[RaceRow]) -> String {
+    let mut out = String::from(
+        "Sequential ladder vs portfolio racing (same rungs, same budgets)\n",
+    );
+    out.push_str(&format!(
+        "{:<22}{:>12}{:>12}{:>18}{:>10}{:>10}\n",
+        "Pair", "seq (s)", "race (s)", "answered by", "speedup", "verdicts"
+    ));
+    out.push_str(&"-".repeat(22 + 12 + 12 + 18 + 10 + 10));
+    out.push('\n');
+    for r in rows {
+        let answered = match r.race.provenance.answered_by {
+            Some(rung) => rung.to_string(),
+            None => "—".into(),
+        };
+        out.push_str(&format!(
+            "{:<22}{:>8.2} {:<3}{:>8.2} {:<3}{:>18}{:>9.2}x{:>10}\n",
+            r.name,
+            r.seq_wall.as_secs_f64(),
+            verdict_label(&r.seq),
+            r.race_wall.as_secs_f64(),
+            verdict_label(&r.race),
+            answered,
+            r.speedup(),
+            if r.verdicts_match() { "match" } else { "DIVERGED" },
+        ));
+    }
+    let matched = rows.iter().filter(|r| r.verdicts_match()).count();
+    out.push_str(&format!("\nverdict agreement: {matched}/{} rows identical\n", rows.len()));
+    let eq_speedups: Vec<f64> =
+        rows.iter().filter(|r| r.equivalence).map(|r| r.speedup()).collect();
+    if let Some(best) =
+        eq_speedups.iter().cloned().reduce(f64::max)
+    {
+        out.push_str(&format!(
+            "equivalence-row racing speedup: best {best:.2}x (deadline-bound rows), {} rows measured\n",
+            eq_speedups.len()
+        ));
+    }
+    out
+}
+
+/// Batch mode demo: one [`verify_all`] call over the headline pairs,
+/// results in input order with per-task provenance and abandoned-rung cost.
+pub fn batch_demo() -> String {
+    let load = |s: &str| KernelUnit::load(s).expect("bundled kernel loads");
+    let tasks = vec![
+        VerifyTask::new(
+            "transpose naive/opt",
+            load(pug_kernels::transpose::NAIVE),
+            load(pug_kernels::transpose::OPTIMIZED),
+            GpuConfig::symbolic_2d(8),
+        ),
+        VerifyTask::new(
+            "transpose naive/buggy",
+            load(pug_kernels::transpose::NAIVE),
+            load(pug_kernels::transpose::BUGGY_ADDR),
+            GpuConfig::symbolic_2d(8),
+        ),
+        VerifyTask::new(
+            "reduction v0/v1",
+            load(pug_kernels::reduction::V0),
+            load(pug_kernels::reduction::V1),
+            GpuConfig::symbolic_1d(8),
+        ),
+        VerifyTask::new(
+            "vector-add ok/buggy",
+            load(pug_kernels::vector_add::KERNEL),
+            load(pug_kernels::vector_add::BUGGY),
+            GpuConfig::symbolic_1d(8),
+        ),
+    ];
+    let t0 = Instant::now();
+    let reports = verify_all(&tasks, &PortfolioOptions::default());
+    let wall = t0.elapsed();
+    let mut out = format!(
+        "Batch portfolio: {} tasks over one worker pool, {:.2} s wall\n",
+        tasks.len(),
+        wall.as_secs_f64()
+    );
+    for (task, r) in tasks.iter().zip(&reports) {
+        let answered = match r.provenance.answered_by {
+            Some(rung) => rung.to_string(),
+            None => "—".into(),
+        };
+        out.push_str(&format!(
+            "  {:<24} {:<4} by {:<16} abandoned-rung cost {:.2} s\n",
+            task.name,
+            verdict_label(r),
+            answered,
+            r.provenance.abandoned_cost().as_secs_f64(),
+        ));
+    }
+    out
+}
+
+/// Fault-injection smoke for racing mode: arm each injectable fault, run
+/// the quick batch, and demand every task still resolves exactly as the
+/// degradation contract says — crashes cost one rung, injected exhaustion
+/// never spreads to siblings, and only a solver-wide unknown fault may
+/// push a task to T.O. Returns the number of failed scenarios.
+pub fn portfolio_fault_smoke() -> usize {
+    let load = |s: &str| KernelUnit::load(s).expect("bundled kernel loads");
+    let tasks = vec![
+        VerifyTask::new(
+            "transpose self",
+            load(pug_kernels::transpose::NAIVE),
+            load(pug_kernels::transpose::NAIVE),
+            GpuConfig::symbolic_2d(8),
+        ),
+        VerifyTask::new(
+            "transpose naive/buggy",
+            load(pug_kernels::transpose::NAIVE),
+            load(pug_kernels::transpose::BUGGY_ADDR),
+            GpuConfig::symbolic_2d(8),
+        ),
+        VerifyTask::new(
+            "reduction v0/buggy",
+            load(pug_kernels::reduction::V0),
+            load(pug_kernels::reduction::BUGGY_INDEX),
+            GpuConfig::symbolic_1d(8),
+        ),
+    ];
+    // `all_answer`: every task must still reach a definitive verdict
+    // through some surviving rung. That bar only applies to *rung-level*
+    // faults; a solver-wide fault (every rung runs the same solver) leaves
+    // no rung able to conclude, and the contract degrades to "every task
+    // still resolves, with the fault recorded per rung".
+    let scenarios: &[(&str, Fault, bool)] = &[
+        ("runner::param", Fault::Panic, true),
+        ("runner::param", Fault::BudgetExhausted, true),
+        ("runner::nonparam", Fault::BudgetExhausted, true),
+        ("sat::solve", Fault::Panic, false),
+        ("smt::check", Fault::SpuriousUnknown, false),
+    ];
+    std::panic::set_hook(Box::new(|_| {})); // injected panics render as outcomes
+    let mut failures = 0;
+    for &(site, fault, all_answer) in scenarios {
+        failpoints::reset();
+        failpoints::arm(site, fault);
+        let reports = verify_all(&tasks, &PortfolioOptions::default());
+        failpoints::reset();
+        let answered = reports.iter().filter(|r| r.provenance.answered_by.is_some()).count();
+        let ok = reports.len() == tasks.len() && (!all_answer || answered == tasks.len());
+        println!(
+            "fault {site} = {fault:?}: {}/{} tasks resolved, {answered} answered — {}",
+            reports.len(),
+            tasks.len(),
+            if ok { "ok" } else { "UNEXPECTED" }
+        );
+        if !ok {
+            for (task, r) in tasks.iter().zip(&reports) {
+                println!("  {}:\n{}", task.name, r.provenance.render());
+            }
+            failures += 1;
+        }
+    }
+    let _ = std::panic::take_hook();
+    failures
+}
+
+/// Map a racing report onto the tables' per-cell [`Outcome`] notation (for
+/// ad-hoc reuse of the table renderer).
+pub fn outcome_of(r: &ResilientReport) -> Outcome {
+    match &r.verdict {
+        Verdict::Verified(_) => Outcome::Verified(r.elapsed),
+        Verdict::Bug(_) => Outcome::Starred(r.elapsed),
+        Verdict::Timeout => Outcome::Timeout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_agrees_and_labels_render() {
+        // One deadline-bound row + the cheap rows: verdicts must agree and
+        // the renderer must carry the acceptance summary.
+        let rows = portfolio_rows(true);
+        assert!(rows.iter().all(|r| r.verdicts_match()), "{}", render_race_rows(&rows));
+        let table = render_race_rows(&rows);
+        assert!(table.contains("verdict agreement"));
+        assert!(table.contains("match"));
+        assert!(!table.contains("DIVERGED"));
+    }
+
+    #[test]
+    fn batch_demo_reports_every_task() {
+        let demo = batch_demo();
+        assert!(demo.contains("transpose naive/opt"));
+        assert!(demo.contains("vector-add ok/buggy"));
+        assert!(demo.contains("s*"), "buggy pairs must report bugs:\n{demo}");
+    }
+}

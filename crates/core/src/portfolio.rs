@@ -1,0 +1,433 @@
+//! Portfolio-parallel verification: racing the degradation ladder.
+//!
+//! The sequential ladder of [`crate::runner`] tries one encoding at a time,
+//! so its wall-clock cost is the *sum* of every rung attempted before the
+//! answering one — and most of that sum is deadline-bound waiting when an
+//! upper rung times out. The paper's §III/§IV duality makes the rungs
+//! complementary (the parameterized proof and the concrete-`n` bug hunt
+//! have opposite best cases), which is exactly the profile portfolio
+//! racing exploits: launch every rung concurrently, adopt the first
+//! *conclusive* verdict by soundness priority, and cancel the losers.
+//!
+//! ## Determinism
+//!
+//! "First conclusive verdict wins" is arbitrated by *ladder priority*, not
+//! arrival time: a weaker rung's answer is adopted only once every
+//! stronger rung has resolved without answering (timeout, crash, error).
+//! The winner is therefore the strongest answering rung — the same rung
+//! the sequential ladder would have stopped at — so racing returns the
+//! same verdict at the same soundness level, every run. Rungs *below* an
+//! answering rung are cancelled immediately (their result can never take
+//! priority); their partial cost is recorded as
+//! [`RungOutcome::Abandoned`].
+//!
+//! ## Budget splitting
+//!
+//! Each rung runs under its own [`CancelToken::child`] of a per-task root
+//! token and its own resource caps — the per-rung caps the sequential
+//! ladder would grant, not a shared pool. Sharing one `ResourceBudget`
+//! across concurrent rungs would double-count conflicts and term nodes
+//! against the caps and, worse, let one rung's watchdog cancel its
+//! siblings; the child-token tree keeps exhaustion strictly per-rung while
+//! the task root remains a portfolio-wide kill switch
+//! (see `pug_sat::Budget::split` for the solver-level form of the same
+//! contract).
+//!
+//! ## Batch mode
+//!
+//! [`verify_all`] schedules many verification tasks across one worker
+//! pool: every (task, rung) pair becomes an independent pool job, so a
+//! deadline-waiting rung of one kernel never blocks another kernel's
+//! progress. Results come back in input order with full per-task
+//! provenance — which rung answered and what the abandoned rungs cost.
+
+use crate::kernel::KernelUnit;
+use crate::runner::{
+    adopt_verdict, build_ladder, dispatch_rung, rung_timeout, run_rung, Provenance,
+    ResilientReport, RungOutcome, RungRecord, RungResult, RunnerOptions,
+};
+use crate::equiv::Report;
+use crate::verdict::Verdict;
+use pug_ir::GpuConfig;
+use pug_smt::CancelToken;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A boxed unit of work for the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Hand-rolled fixed-size worker pool: `std::thread` workers pulling boxed
+/// jobs from one shared channel. No external dependencies, no async
+/// runtime — the jobs here are seconds-long solver calls, so scheduling
+/// overhead is irrelevant next to isolation and determinism.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers (at least one).
+    pub fn new(threads: usize) -> WorkerPool {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("pug-portfolio-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the receive; the job runs
+                        // unlocked so workers hand off the queue promptly.
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break,
+                        };
+                        match job {
+                            // Belt and braces: rung jobs already catch
+                            // checker panics, but a worker must survive
+                            // anything so the pool never loses capacity.
+                            Ok(job) => {
+                                let _ = catch_unwind(AssertUnwindSafe(job));
+                            }
+                            Err(_) => break, // pool dropped: drain and exit
+                        }
+                    })
+                    .expect("spawn portfolio worker")
+            })
+            .collect();
+        WorkerPool { tx: Some(tx), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a job; workers pick jobs up in FIFO order.
+    pub fn submit(&self, job: Job) {
+        self.tx
+            .as_ref()
+            .expect("pool not shut down")
+            .send(job)
+            .expect("portfolio workers alive");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.tx.take(); // close the channel: workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One batch verification task: prove `src` ≡ `tgt` under `cfg`.
+#[derive(Clone, Debug)]
+pub struct VerifyTask {
+    /// Label carried into logs and batch renderings.
+    pub name: String,
+    pub src: KernelUnit,
+    pub tgt: KernelUnit,
+    pub cfg: GpuConfig,
+}
+
+impl VerifyTask {
+    pub fn new(name: &str, src: KernelUnit, tgt: KernelUnit, cfg: GpuConfig) -> VerifyTask {
+        VerifyTask { name: name.to_string(), src, tgt, cfg }
+    }
+}
+
+/// Portfolio policy: the ladder policy plus scheduling knobs.
+#[derive(Clone, Debug, Default)]
+pub struct PortfolioOptions {
+    /// The ladder raced by every task (rungs, per-rung timeouts, caps).
+    pub runner: RunnerOptions,
+    /// Worker threads. `None` picks `max(ladder width, available cores)`:
+    /// at least one thread per rung so deadline-bound rungs overlap their
+    /// waiting instead of serializing it, even on a single core.
+    pub threads: Option<usize>,
+}
+
+impl PortfolioOptions {
+    pub fn with_runner(runner: RunnerOptions) -> PortfolioOptions {
+        PortfolioOptions { runner, threads: None }
+    }
+}
+
+/// What one rung job reports back to the arbiter.
+struct RungMsg {
+    task: usize,
+    index: usize,
+    result: RungResult,
+    elapsed: Duration,
+    queries: usize,
+}
+
+/// A resolved rung, parked until the task finalizes.
+struct Slot {
+    outcome: RungOutcome,
+    report: Option<Report>,
+    elapsed: Duration,
+    queries: usize,
+}
+
+/// Per-task arbitration state.
+struct TaskState {
+    tokens: Vec<CancelToken>,
+    slots: Vec<Option<Slot>>,
+    /// Rungs the arbiter cancelled (as opposed to genuinely timing out).
+    axed: Vec<bool>,
+    /// Winning ladder index, once the frontier reaches an answered rung.
+    winner: Option<usize>,
+    /// Wall-clock from batch start to the verdict decision.
+    decided_after: Option<Duration>,
+}
+
+impl TaskState {
+    fn new(width: usize, root: &CancelToken) -> TaskState {
+        TaskState {
+            tokens: (0..width).map(|_| root.child()).collect(),
+            slots: (0..width).map(|_| None).collect(),
+            axed: vec![false; width],
+            winner: None,
+            decided_after: None,
+        }
+    }
+
+    /// Cancel every undecided rung strictly below `index` in priority.
+    fn axe_below(&mut self, index: usize) {
+        for j in (index + 1)..self.tokens.len() {
+            if self.slots[j].is_none() && !self.axed[j] {
+                self.tokens[j].cancel();
+                self.axed[j] = true;
+            }
+        }
+    }
+
+    /// Advance the priority frontier: the task is decided once the
+    /// strongest unresolved-or-answered position holds an answer.
+    fn arbitrate(&mut self, since_start: Duration) {
+        if self.winner.is_some() {
+            return;
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            match slot {
+                None => return, // a stronger rung is still in flight
+                Some(s) if matches!(s.outcome, RungOutcome::Answered) => {
+                    self.winner = Some(i);
+                    self.decided_after = Some(since_start);
+                    self.axe_below(i);
+                    return;
+                }
+                Some(_) => {} // resolved without answering: descend
+            }
+        }
+    }
+}
+
+/// Race the degradation ladder for one kernel pair: all rungs launch
+/// concurrently and the strongest answering rung's verdict is adopted (see
+/// the module docs for the determinism argument). The returned provenance
+/// records every rung — answered, timed out, crashed, or abandoned — with
+/// its cost.
+pub fn run_portfolio(
+    src: &KernelUnit,
+    tgt: &KernelUnit,
+    cfg: &GpuConfig,
+    opts: &PortfolioOptions,
+) -> ResilientReport {
+    let task = VerifyTask::new("race", src.clone(), tgt.clone(), cfg.clone());
+    verify_all(std::slice::from_ref(&task), opts)
+        .pop()
+        .expect("one task in, one report out")
+}
+
+/// Verify a batch of kernel pairs across the worker pool.
+///
+/// Every (task, rung) pair is an independent job, scheduled task-major so
+/// earlier tasks' ladders fill the pool first. Results are returned in
+/// input order regardless of completion order; each task's verdict is
+/// arbitrated exactly as in [`run_portfolio`], so batch results equal the
+/// sequential ladder's task by task.
+pub fn verify_all(tasks: &[VerifyTask], opts: &PortfolioOptions) -> Vec<ResilientReport> {
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    let started = Instant::now();
+    let (ladder, skipped) = build_ladder(&opts.runner);
+    let width = ladder.len();
+    let threads = opts.threads.unwrap_or_else(|| {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        width.max(cores)
+    });
+    let pool = WorkerPool::new(threads.min(width * tasks.len()));
+    let (tx, rx) = channel::<RungMsg>();
+
+    let mut states: Vec<TaskState> = Vec::with_capacity(tasks.len());
+    for (t, task) in tasks.iter().enumerate() {
+        let root = CancelToken::new();
+        let state = TaskState::new(width, &root);
+        let shared = Arc::new(task.clone());
+        for (i, &rung) in ladder.iter().enumerate() {
+            let token = state.tokens[i].clone();
+            let tx = tx.clone();
+            let task = Arc::clone(&shared);
+            let ropts = opts.runner.clone();
+            let timeout = rung_timeout(&ropts, i);
+            pool.submit(Box::new(move || {
+                let (result, elapsed, queries) = if token.is_cancelled() {
+                    // Axed while still queued: zero cost, never started.
+                    (RungResult::Timeout, Duration::ZERO, 0)
+                } else {
+                    run_rung(rung, timeout, token, |check_opts| {
+                        dispatch_rung(rung, &task.src, &task.tgt, &task.cfg, &ropts, check_opts)
+                    })
+                };
+                // The arbiter outlives every job; a send can only fail if
+                // the batch already panicked, in which case silence is fine.
+                let _ = tx.send(RungMsg { task: t, index: i, result, elapsed, queries });
+            }));
+        }
+        states.push(state);
+    }
+    drop(tx);
+
+    // Arbiter: collect every rung's fate; decide each task at its frontier.
+    let mut remaining = tasks.len() * width;
+    while remaining > 0 {
+        let msg = rx.recv().expect("rung job lost without reporting");
+        remaining -= 1;
+        let state = &mut states[msg.task];
+        let (outcome, report) = match msg.result {
+            RungResult::Verdict(r) => (RungOutcome::Answered, Some(r)),
+            RungResult::Timeout => (RungOutcome::Timeout, None),
+            RungResult::Crashed(m) => (RungOutcome::Crashed(m), None),
+            RungResult::Failed(m) => (RungOutcome::Failed(m), None),
+        };
+        if matches!(outcome, RungOutcome::Answered) {
+            // Whatever the frontier says, rungs weaker than an answered one
+            // can never win: stop paying for them now.
+            state.axe_below(msg.index);
+        }
+        state.slots[msg.index] =
+            Some(Slot { outcome, report, elapsed: msg.elapsed, queries: msg.queries });
+        state.arbitrate(started.elapsed());
+    }
+
+    // Assemble reports in input order.
+    states
+        .into_iter()
+        .map(|mut state| {
+            let mut prov = Provenance { rungs: skipped.clone(), ..Provenance::default() };
+            let mut verdict = Verdict::Timeout;
+            if let Some(w) = state.winner {
+                let rung = ladder[w];
+                prov.answered_by = Some(rung);
+                prov.soundness_note = rung.downgrade();
+                let report = state.slots[w]
+                    .as_mut()
+                    .and_then(|s| s.report.take())
+                    .expect("winner slot holds a report");
+                verdict = adopt_verdict(report.verdict, rung);
+            }
+            for (i, slot) in state.slots.into_iter().enumerate() {
+                let slot = slot.expect("all slots resolved");
+                // A rung the arbiter cancelled that then yielded `Unknown`
+                // did not time out on its own merits: it lost the race.
+                let outcome = match slot.outcome {
+                    RungOutcome::Timeout if state.axed[i] => RungOutcome::Abandoned,
+                    o => o,
+                };
+                prov.rungs.push(RungRecord {
+                    rung: ladder[i],
+                    outcome,
+                    elapsed: slot.elapsed,
+                    queries: slot.queries,
+                });
+            }
+            let elapsed = state.decided_after.unwrap_or_else(|| started.elapsed());
+            ResilientReport { verdict, provenance: prov, elapsed }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Rung;
+    use crate::verdict::Soundness;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_all_jobs_and_survives_panics() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                if i % 5 == 0 {
+                    // Suppress the default hook's backtrace spam for the
+                    // deliberate panics below.
+                    let hook = std::panic::take_hook();
+                    std::panic::set_hook(Box::new(|_| {}));
+                    let result = catch_unwind(|| panic!("job {i} dies"));
+                    std::panic::set_hook(hook);
+                    assert!(result.is_err());
+                }
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool); // joins workers after the queue drains
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn racing_easy_pair_answers_param_and_abandons_losers() {
+        let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+        let report = run_portfolio(
+            &naive,
+            &naive,
+            &GpuConfig::symbolic_2d(8),
+            &PortfolioOptions::default(),
+        );
+        assert!(report.verdict.is_verified(), "{}", report.provenance.render());
+        assert_eq!(report.provenance.answered_by, Some(Rung::Param));
+        assert!(report.provenance.soundness_note.is_none());
+        assert!(matches!(report.verdict, Verdict::Verified(Soundness::Sound)));
+        // Weaker rungs either lost the race or answered first and were
+        // outranked — none may have timed out on its own.
+        for r in &report.provenance.rungs {
+            assert!(
+                !matches!(r.outcome, RungOutcome::Timeout),
+                "rung {} reports a genuine timeout in a race with no deadline",
+                r.rung
+            );
+        }
+    }
+
+    #[test]
+    fn batch_results_come_back_in_input_order() {
+        let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+        let buggy = KernelUnit::load(pug_kernels::transpose::BUGGY_ADDR).unwrap();
+        let cfg = GpuConfig::symbolic_2d(8);
+        let tasks = vec![
+            VerifyTask::new("self", naive.clone(), naive.clone(), cfg.clone()),
+            VerifyTask::new("buggy", naive.clone(), buggy, cfg.clone()),
+            VerifyTask::new("self2", naive.clone(), naive, cfg),
+        ];
+        let reports = verify_all(&tasks, &PortfolioOptions::default());
+        assert_eq!(reports.len(), 3);
+        assert!(reports[0].verdict.is_verified());
+        assert!(reports[1].verdict.is_bug(), "{}", reports[1].provenance.render());
+        assert!(reports[2].verdict.is_verified());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(verify_all(&[], &PortfolioOptions::default()).is_empty());
+    }
+}

@@ -61,7 +61,7 @@ impl Rung {
     }
 
     /// The soundness qualification a *clean* verdict from this rung carries.
-    fn downgrade(&self) -> Option<String> {
+    pub(crate) fn downgrade(&self) -> Option<String> {
         match self {
             Rung::Param => None,
             Rung::ParamConcretized => Some(
@@ -103,6 +103,10 @@ pub enum RungOutcome {
     Failed(String),
     /// The rung was not applicable (e.g. no "+C." values configured).
     Skipped(String),
+    /// Portfolio racing only: a higher-priority rung answered first and
+    /// this rung was cancelled mid-flight. Its partial cost is still
+    /// recorded in the [`RungRecord`].
+    Abandoned,
 }
 
 impl fmt::Display for RungOutcome {
@@ -113,6 +117,7 @@ impl fmt::Display for RungOutcome {
             RungOutcome::Crashed(m) => write!(f, "crashed: {m}"),
             RungOutcome::Failed(m) => write!(f, "error: {m}"),
             RungOutcome::Skipped(m) => write!(f, "skipped: {m}"),
+            RungOutcome::Abandoned => write!(f, "abandoned (lost the race)"),
         }
     }
 }
@@ -165,6 +170,17 @@ impl Provenance {
     /// Total wall-clock spent across attempted rungs.
     pub fn total_spent(&self) -> Duration {
         self.rungs.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Wall-clock spent on rungs that were cancelled after losing a
+    /// portfolio race — the price of racing, separated out so batch
+    /// reports can show what speculation cost.
+    pub fn abandoned_cost(&self) -> Duration {
+        self.rungs
+            .iter()
+            .filter(|r| matches!(r.outcome, RungOutcome::Abandoned))
+            .map(|r| r.elapsed)
+            .sum()
     }
 }
 
@@ -302,8 +318,8 @@ fn pin_config(cfg: &GpuConfig, n: u64) -> GpuConfig {
     c
 }
 
-/// How one rung resolved, internally.
-enum RungResult {
+/// How one rung resolved, internally. Shared with [`crate::portfolio`].
+pub(crate) enum RungResult {
     Verdict(Report),
     Timeout,
     Crashed(String),
@@ -311,12 +327,20 @@ enum RungResult {
 }
 
 /// Run one rung under its fault boundary: failpoint, watchdog, panic catch.
-fn run_rung<F>(rung: Rung, timeout: Option<Duration>, f: F) -> (RungResult, Duration, usize)
+///
+/// The caller supplies the rung's [`CancelToken`] so an external arbiter
+/// (the portfolio scheduler) can retain a handle and cancel the rung
+/// mid-flight; the sequential ladder passes a fresh token per rung.
+pub(crate) fn run_rung<F>(
+    rung: Rung,
+    timeout: Option<Duration>,
+    token: CancelToken,
+    f: F,
+) -> (RungResult, Duration, usize)
 where
     F: FnOnce(CheckOptions) -> Result<Report, Error>,
 {
     let started = Instant::now();
-    let token = CancelToken::new();
     let _watchdog = timeout.map(|t| Watchdog::arm(token.clone(), t));
 
     let opts = CheckOptions { timeout, cancel: token, ..CheckOptions::default() };
@@ -348,6 +372,75 @@ where
     }
 }
 
+/// The runnable ladder for `opts`, in descending soundness order, plus the
+/// pre-skipped records for rungs that are not applicable (Param+C without
+/// concretized parameters). Shared by the sequential ladder and the
+/// portfolio racer so both modes attempt — and arbitrate over — the exact
+/// same rung set.
+pub(crate) fn build_ladder(opts: &RunnerOptions) -> (Vec<Rung>, Vec<RungRecord>) {
+    let mut ladder: Vec<Rung> = vec![Rung::Param];
+    let mut skipped = Vec::new();
+    if !opts.concretize.is_empty() {
+        ladder.push(Rung::ParamConcretized);
+    } else {
+        skipped.push(RungRecord {
+            rung: Rung::ParamConcretized,
+            outcome: RungOutcome::Skipped("no concretized parameters configured".into()),
+            elapsed: Duration::ZERO,
+            queries: 0,
+        });
+    }
+    ladder.extend(opts.fallback_ns.iter().map(|&n| Rung::NonParam { n }));
+    ladder.push(Rung::FastBugHunt);
+    (ladder, skipped)
+}
+
+/// Per-rung wall-clock budget: the first-rung timeout scaled by
+/// `backoff^index` over the runnable ladder. Index-based (not
+/// descent-based) so the racing scheduler hands out the same budgets the
+/// sequential ladder would.
+pub(crate) fn rung_timeout(opts: &RunnerOptions, index: usize) -> Option<Duration> {
+    opts.rung_timeout.map(|t| t.mul_f64(opts.backoff.max(0.01).powi(index as i32)))
+}
+
+/// Dispatch one rung's check with the runner-level caps applied.
+pub(crate) fn dispatch_rung(
+    rung: Rung,
+    src: &KernelUnit,
+    tgt: &KernelUnit,
+    cfg: &GpuConfig,
+    opts: &RunnerOptions,
+    mut check_opts: CheckOptions,
+) -> Result<Report, Error> {
+    check_opts.max_clause_bytes = opts.max_clause_bytes;
+    check_opts.max_term_nodes = opts.max_term_nodes;
+    match rung {
+        Rung::Param => check_equivalence_param(src, tgt, cfg, &check_opts),
+        Rung::ParamConcretized => {
+            check_opts.concretize = opts.concretize.clone();
+            check_equivalence_param(src, tgt, cfg, &check_opts)
+        }
+        Rung::NonParam { n } => {
+            let pinned = pin_config(cfg, n);
+            check_equivalence_nonparam(src, tgt, &pinned, &check_opts)
+        }
+        Rung::FastBugHunt => {
+            check_opts.mode = crate::equiv::Mode::FastBugHunt;
+            check_equivalence_param(src, tgt, cfg, &check_opts)
+        }
+    }
+}
+
+/// Soundness-downgrade a rung's verdict exactly as the sequential ladder
+/// does: a clean verdict from a weaker rung is only an under-approximate
+/// proof of the parameterized claim; bugs stay bugs.
+pub(crate) fn adopt_verdict(verdict: Verdict, rung: Rung) -> Verdict {
+    match (verdict, rung.downgrade()) {
+        (Verdict::Verified(_), Some(_)) => Verdict::Verified(Soundness::UnderApprox),
+        (v, _) => v,
+    }
+}
+
 /// Run the full degradation ladder for the equivalence of `src` and `tgt`.
 ///
 /// Descends `Param → Param+C → NonParam(n) → FastBugHunt` until a rung
@@ -362,43 +455,15 @@ pub fn run_resilient(
 ) -> ResilientReport {
     let started = Instant::now();
     let mut prov = Provenance::default();
-    let mut timeout = opts.rung_timeout;
+    let (ladder, skipped) = build_ladder(opts);
+    prov.rungs.extend(skipped);
 
-    // The ladder, with per-rung checker closures resolved lazily.
-    let mut ladder: Vec<Rung> = vec![Rung::Param];
-    if !opts.concretize.is_empty() {
-        ladder.push(Rung::ParamConcretized);
-    } else {
-        prov.rungs.push(RungRecord {
-            rung: Rung::ParamConcretized,
-            outcome: RungOutcome::Skipped("no concretized parameters configured".into()),
-            elapsed: Duration::ZERO,
-            queries: 0,
-        });
-    }
-    ladder.extend(opts.fallback_ns.iter().map(|&n| Rung::NonParam { n }));
-    ladder.push(Rung::FastBugHunt);
-
-    for rung in ladder {
-        let (result, elapsed, queries) = run_rung(rung, timeout, |mut check_opts| {
-            check_opts.max_clause_bytes = opts.max_clause_bytes;
-            check_opts.max_term_nodes = opts.max_term_nodes;
-            match rung {
-                Rung::Param => check_equivalence_param(src, tgt, cfg, &check_opts),
-                Rung::ParamConcretized => {
-                    check_opts.concretize = opts.concretize.clone();
-                    check_equivalence_param(src, tgt, cfg, &check_opts)
-                }
-                Rung::NonParam { n } => {
-                    let pinned = pin_config(cfg, n);
-                    check_equivalence_nonparam(src, tgt, &pinned, &check_opts)
-                }
-                Rung::FastBugHunt => {
-                    check_opts.mode = crate::equiv::Mode::FastBugHunt;
-                    check_equivalence_param(src, tgt, cfg, &check_opts)
-                }
-            }
-        });
+    for (index, rung) in ladder.into_iter().enumerate() {
+        let timeout = rung_timeout(opts, index);
+        let (result, elapsed, queries) =
+            run_rung(rung, timeout, CancelToken::new(), |check_opts| {
+                dispatch_rung(rung, src, tgt, cfg, opts, check_opts)
+            });
 
         let (outcome, answer) = match result {
             RungResult::Verdict(report) => (RungOutcome::Answered, Some(report)),
@@ -411,18 +476,8 @@ pub fn run_resilient(
         if let Some(report) = answer {
             prov.answered_by = Some(rung);
             prov.soundness_note = rung.downgrade();
-            // A clean verdict from a weaker rung is only an under-approximate
-            // proof of the parameterized claim; bugs stay bugs.
-            let verdict = match (report.verdict, rung.downgrade()) {
-                (Verdict::Verified(_), Some(_)) => Verdict::Verified(Soundness::UnderApprox),
-                (v, _) => v,
-            };
+            let verdict = adopt_verdict(report.verdict, rung);
             return ResilientReport { verdict, provenance: prov, elapsed: started.elapsed() };
-        }
-
-        // Backoff: weaker rungs get scaled budgets.
-        if let Some(t) = timeout {
-            timeout = Some(t.mul_f64(opts.backoff.max(0.01)));
         }
     }
 

@@ -12,29 +12,55 @@ use std::time::{Duration, Instant};
 /// [`cancel`](CancelToken::cancel) a solve running on another thread, and
 /// the solver observes it at propagation / bit-blast granularity, yielding
 /// `Unknown` promptly instead of running to completion.
+///
+/// Tokens form a *tree*: [`child`](CancelToken::child) derives a token that
+/// trips when either itself or any ancestor is cancelled, while cancelling
+/// the child leaves the parent — and every sibling — untouched. This is the
+/// isolation contract portfolio racing relies on: one rung exhausting its
+/// budget must never take a concurrently racing sibling down with it, yet
+/// a supervisor holding the root can still stop the whole portfolio.
 #[derive(Clone, Debug, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    /// Ancestor chain, innermost parent first. Kept flat (rather than a
+    /// recursive parent link) so `is_cancelled` is a short loop of atomic
+    /// loads with no pointer chasing through nested Arcs.
+    ancestors: Arc<[Arc<AtomicBool>]>,
+}
 
 impl CancelToken {
-    /// Fresh, untripped token.
+    /// Fresh, untripped root token.
     pub fn new() -> CancelToken {
         CancelToken::default()
     }
 
-    /// Trip the token. Idempotent; safe from any thread.
-    pub fn cancel(&self) {
-        self.0.store(true, Ordering::Release);
+    /// Derive a child token: tripped by its own [`cancel`](CancelToken::cancel)
+    /// *or* by cancelling `self` (or any ancestor of `self`); cancelling the
+    /// child never affects `self` or the child's siblings.
+    pub fn child(&self) -> CancelToken {
+        let mut chain = vec![Arc::clone(&self.flag)];
+        chain.extend(self.ancestors.iter().cloned());
+        CancelToken { flag: Arc::new(AtomicBool::new(false)), ancestors: chain.into() }
     }
 
-    /// Has the token been tripped?
+    /// Trip the token (and, transitively, every descendant). Idempotent;
+    /// safe from any thread. Ancestors and siblings are unaffected.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has this token — or any ancestor — been tripped?
     #[inline]
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        self.flag.load(Ordering::Acquire)
+            || self.ancestors.iter().any(|a| a.load(Ordering::Acquire))
     }
 
-    /// Reset to untripped (for token reuse between runs in tests/harnesses).
+    /// Reset this token's own flag to untripped (for token reuse between
+    /// runs in tests/harnesses). A cancellation inherited from an ancestor
+    /// cannot be reset from the child.
     pub fn reset(&self) {
-        self.0.store(false, Ordering::Release);
+        self.flag.store(false, Ordering::Release);
     }
 }
 
@@ -161,6 +187,21 @@ impl Budget {
     pub fn remaining(&self) -> Option<Duration> {
         self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
     }
+
+    /// Split into `k` *independent* per-worker budgets for concurrent use.
+    ///
+    /// Handing one `Budget` value to `k` racing workers is wrong in two
+    /// ways: each worker checks its own counters against the shared caps
+    /// (so the aggregate spend is `k`× what the caps suggest — the
+    /// "shared-and-double-counted" trap), and they share one cancel token,
+    /// so one worker exhausting its slice trips every sibling. `split`
+    /// fixes both: each child carries the same per-worker caps and deadline
+    /// but its own [`CancelToken::child`] — cancelling (or exhausting) one
+    /// child never interrupts a sibling, while cancelling the original
+    /// budget's token still stops all of them.
+    pub fn split(&self, k: usize) -> Vec<Budget> {
+        (0..k).map(|_| Budget { cancel: self.cancel.child(), ..self.clone() }).collect()
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +259,52 @@ mod tests {
         assert!(b.clause_bytes_exhausted(1024));
         assert!(!b.term_nodes_exhausted(9));
         assert!(b.term_nodes_exhausted(10));
+    }
+
+    #[test]
+    fn child_token_isolation() {
+        let root = CancelToken::new();
+        let a = root.child();
+        let b = root.child();
+        // Sibling cancellation is isolated.
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled(), "cancelling a child must not trip its sibling");
+        assert!(!root.is_cancelled(), "cancelling a child must not trip the parent");
+        // Root cancellation reaches every descendant, including grandchildren.
+        let grandchild = b.child();
+        root.cancel();
+        assert!(b.is_cancelled());
+        assert!(grandchild.is_cancelled());
+        // A child cannot un-cancel an ancestor's trip.
+        b.reset();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn split_isolates_siblings_and_keeps_caps() {
+        let root = CancelToken::new();
+        let parent = Budget::unlimited()
+            .and_cancel(root.clone())
+            .and_clause_bytes(4096)
+            .and_term_nodes(100);
+        let children = parent.split(3);
+        assert_eq!(children.len(), 3);
+        for c in &children {
+            // Per-worker caps are the sequential per-attempt caps, verbatim.
+            assert_eq!(c.max_clause_bytes, Some(4096));
+            assert_eq!(c.max_term_nodes, Some(100));
+            assert!(!c.interrupted());
+        }
+        // Exhausting (cancelling) one child leaves the siblings running.
+        children[0].cancel.cancel();
+        assert!(children[0].interrupted());
+        assert!(!children[1].interrupted());
+        assert!(!children[2].interrupted());
+        assert!(!parent.interrupted());
+        // The parent token remains the portfolio-wide kill switch.
+        root.cancel();
+        assert!(children[1].interrupted() && children[2].interrupted());
     }
 
     #[test]

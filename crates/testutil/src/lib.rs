@@ -14,6 +14,9 @@
 use std::ops::{Range, RangeInclusive};
 use std::time::{Duration, Instant};
 
+pub mod kernelgen;
+pub use kernelgen::{GenProfile, KernelGen};
+
 /// Deterministic seedable PRNG (SplitMix64).
 #[derive(Clone, Debug)]
 pub struct TestRng {

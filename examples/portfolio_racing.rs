@@ -1,0 +1,64 @@
+//! Portfolio mode: race the degradation ladder instead of descending it.
+//!
+//! ```text
+//! cargo run --release --example portfolio_racing
+//! ```
+//!
+//! The sequential runner tries Param → Param+C → NonParam(n) → FastBugHunt
+//! one rung at a time, so a timing-out upper rung costs its whole deadline
+//! before the next rung even starts. `run_portfolio` launches every rung
+//! concurrently and adopts the strongest answering rung's verdict — the
+//! same verdict the sequential ladder would return, decided after the
+//! *longest* wait instead of the sum of waits. `verify_all` does the same
+//! for a whole batch of kernel pairs over one worker pool.
+
+use pugpara::portfolio::{run_portfolio, verify_all, PortfolioOptions, VerifyTask};
+use pugpara::runner::{run_resilient, RunnerOptions};
+use pugpara::KernelUnit;
+use pug_ir::GpuConfig;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+    let opt = KernelUnit::load(pug_kernels::transpose::OPTIMIZED).unwrap();
+    let cfg = GpuConfig::symbolic_2d(8);
+
+    // A ladder policy under which the fully symbolic Param rung times out
+    // (it needs ~19 s on this pair) and a weaker rung answers: exactly the
+    // shape where racing reclaims the sequential ladder's waiting time.
+    let opts = RunnerOptions {
+        rung_timeout: Some(Duration::from_secs(4)),
+        fallback_ns: vec![144, 4],
+        ..RunnerOptions::default()
+    };
+
+    println!("== sequential ladder");
+    let t = Instant::now();
+    let seq = run_resilient(&naive, &opt, &cfg, &opts);
+    println!("{}", seq.provenance.render());
+    println!("verdict: {}  ({:.2} s wall)\n", seq.verdict, t.elapsed().as_secs_f64());
+
+    println!("== portfolio racing (same rungs, same budgets)");
+    let t = Instant::now();
+    let race = run_portfolio(&naive, &opt, &cfg, &PortfolioOptions::with_runner(opts));
+    println!("{}", race.provenance.render());
+    println!("verdict: {}  ({:.2} s wall)\n", race.verdict, t.elapsed().as_secs_f64());
+
+    // Batch mode: many pairs over one pool, results in input order.
+    let buggy = KernelUnit::load(pug_kernels::transpose::BUGGY_ADDR).unwrap();
+    let v0 = KernelUnit::load(pug_kernels::reduction::V0).unwrap();
+    let v1 = KernelUnit::load(pug_kernels::reduction::V1).unwrap();
+    let tasks = vec![
+        VerifyTask::new("transpose naive/buggy", naive.clone(), buggy, cfg.clone()),
+        VerifyTask::new("reduction v0/v1", v0, v1, GpuConfig::symbolic_1d(8)),
+    ];
+    println!("== batch: verify_all over {} pairs", tasks.len());
+    for (task, report) in tasks.iter().zip(verify_all(&tasks, &PortfolioOptions::default())) {
+        let by = report
+            .provenance
+            .answered_by
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "no rung".into());
+        println!("  {:<24} {} (answered by {by})", task.name, report.verdict);
+    }
+}

@@ -10,119 +10,108 @@
 
 use pug_ir::{ConcreteInputs, GpuConfig};
 use pug_smt::{Env, Value};
-use pug_testutil::TestRng;
+use pug_testutil::KernelGen;
 use pugpara::KernelUnit;
 use std::collections::HashMap;
-
-/// A tiny random kernel generator over the supported subset.
-struct Gen {
-    rng: TestRng,
-}
-
-impl Gen {
-    fn new(seed: u64) -> Gen {
-        Gen { rng: TestRng::seed_from_u64(seed) }
-    }
-
-    /// Integer expressions over tid.x, the scalar `p`, reads of `in`, and
-    /// small constants.
-    fn expr(&mut self, depth: usize) -> String {
-        if depth == 0 {
-            return match self.rng.gen_range(0..4) {
-                0 => "tid.x".into(),
-                1 => "p".into(),
-                2 => format!("{}", self.rng.gen_range(0..8)),
-                _ => format!("in[{}]", self.idx(0)),
-            };
-        }
-        let a = self.expr(depth - 1);
-        let b = self.expr(depth - 1);
-        let op = ["+", "-", "*", "&", "|", "^", "%", "/"][self.rng.gen_range(0..8usize)];
-        format!("({a} {op} {b})")
-    }
-
-    /// Small index expressions (kept in range by masking).
-    fn idx(&mut self, depth: usize) -> String {
-        if depth == 0 {
-            return match self.rng.gen_range(0..3) {
-                0 => "tid.x".into(),
-                1 => format!("{}", self.rng.gen_range(0..8)),
-                _ => "(tid.x + 1)".into(),
-            };
-        }
-        format!("(({}) & 7)", self.expr(depth - 1))
-    }
-
-    fn cond(&mut self) -> String {
-        let a = self.expr(1);
-        let b = self.expr(1);
-        let op = ["<", "<=", "==", "!=", ">", ">="][self.rng.gen_range(0..6usize)];
-        format!("({a}) {op} ({b})")
-    }
-
-    fn stmt(&mut self, depth: usize) -> String {
-        match self.rng.gen_range(0..6usize) {
-            0 => format!("out[{}] = {};", self.idx(1), self.expr(2)),
-            1 => format!("int l{} = {};", self.rng.gen_range(0..3), self.expr(2)),
-            2 if depth > 0 => {
-                format!(
-                    "if ({}) {{ {} }} else {{ {} }}",
-                    self.cond(),
-                    self.stmt(depth - 1),
-                    self.stmt(depth - 1)
-                )
-            }
-            3 => format!("out[{}] += {};", self.idx(1), self.expr(1)),
-            4 => {
-                let v = self.rng.gen_range(0..3);
-                format!("int l{v} = {}; out[{}] = l{v};", self.expr(1), self.idx(1))
-            }
-            _ => format!("out[{}] = in[{}];", self.idx(1), self.idx(1)),
-        }
-    }
-
-    fn kernel(&mut self) -> String {
-        let n = self.rng.gen_range(1..5);
-        let body: Vec<String> = (0..n).map(|_| self.stmt(2)).collect();
-        let barrier = if self.rng.gen_bool(0.4) {
-            // a second round reading what the first wrote
-            format!(
-                "__syncthreads();\nout[{}] = out[{}] + 1;",
-                self.idx(0),
-                self.idx(0)
-            )
-        } else {
-            String::new()
-        };
-        format!("void k(int *out, int *in, int p) {{\n{}\n{barrier}\n}}", body.join("\n"))
-    }
-}
 
 #[test]
 fn symbolic_encoding_matches_interpreter() {
     let bits = 8;
     let mut failures = Vec::new();
     for seed in 0..60u64 {
-        let mut g = Gen::new(seed * 31 + 7);
+        let mut g = KernelGen::basic(seed * 31 + 7);
         let src = g.kernel();
         let unit = match KernelUnit::load(&src) {
             Ok(u) => u,
             Err(e) => panic!("generated kernel must parse: {e}\n{src}"),
         };
-        let n = g.rng.gen_range(1..5);
+        let n = g.rng_mut().gen_range(1..5);
         let cfg = GpuConfig::concrete_1d(bits, n);
 
         // Concrete inputs.
         let mut inputs = ConcreteInputs::default();
-        inputs.scalars.insert("p".into(), g.rng.gen_range(0..256));
+        inputs.scalars.insert("p".into(), g.rng_mut().gen_range(0..256));
         let in_map: HashMap<u64, u64> =
-            (0..16).map(|i| (i, g.rng.gen_range(0..256))).collect();
+            (0..16).map(|i| (i, g.rng_mut().gen_range(0..256))).collect();
         inputs.arrays.insert("in".into(), in_map.clone());
 
         // Ground truth.
         let truth = pug_ir::run_concrete(&unit.kernel, &unit.types, &cfg, &inputs).unwrap();
 
         // Symbolic encoding evaluated under the same inputs.
+        let mut ctx = pug_smt::Ctx::new();
+        let enc = pugpara::nonparam::encode(&mut ctx, &unit, &cfg, "s").unwrap();
+        let mut env = Env::new();
+        let arr_val = |m: &HashMap<u64, u64>| Value::Array {
+            entries: m.clone(),
+            default: 0,
+            index_width: bits,
+            elem_width: bits,
+        };
+        env.insert(enc.base_arrays["in"], arr_val(&in_map));
+        env.insert(enc.base_arrays["out"], arr_val(&HashMap::new()));
+        let p = ctx.mk_var("p", pug_smt::Sort::BitVec(bits));
+        env.insert(p, Value::Bv(inputs.scalars["p"], bits));
+
+        let final_out = enc.final_arrays["out"];
+        for cell in 0..16u64 {
+            let idx = ctx.mk_bv_const(cell, bits);
+            let sel = ctx.mk_select(final_out, idx);
+            let got = pug_smt::eval::eval(&ctx, sel, &env).as_bv();
+            let want = truth.read("out", cell);
+            if got != want {
+                failures.push(format!(
+                    "seed {seed}, n={n}, out[{cell}]: symbolic {got} != concrete {want}\n{src}"
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{} mismatches:\n{}", failures.len(), failures.join("\n---\n"));
+}
+
+/// Every extended-profile kernel (barriers, shared arrays, guarded
+/// writes) stays inside the supported CUDA subset: parse + type-check
+/// must succeed, and shared arrays must be classified as such.
+#[test]
+fn extended_corpus_loads_and_classifies() {
+    let mut with_shared = 0;
+    for seed in 0..80u64 {
+        let src = KernelGen::extended(seed * 17 + 5).kernel();
+        let unit = KernelUnit::load(&src)
+            .unwrap_or_else(|e| panic!("extended kernel must load: {e}\n{src}"));
+        if src.contains("__shared__") {
+            with_shared += 1;
+            assert_eq!(unit.shared_arrays(), vec!["s"], "seed {seed}:\n{src}");
+        }
+    }
+    assert!(with_shared > 20, "only {with_shared}/80 extended kernels used shared memory");
+}
+
+/// The §III symbolic encoding also agrees with the interpreter on the
+/// *extended* corpus — barrier intervals, shared-array traffic and
+/// guarded writes included — at small concrete configurations.
+#[test]
+fn extended_symbolic_encoding_matches_interpreter() {
+    let bits = 8;
+    let mut failures = Vec::new();
+    for seed in 0..40u64 {
+        let mut g = KernelGen::extended(seed * 53 + 11);
+        let src = g.kernel();
+        let unit = match KernelUnit::load(&src) {
+            Ok(u) => u,
+            Err(e) => panic!("extended kernel must parse: {e}\n{src}"),
+        };
+        let n = g.rng_mut().gen_range(1..5);
+        let cfg = GpuConfig::concrete_1d(bits, n);
+
+        let mut inputs = ConcreteInputs::default();
+        inputs.scalars.insert("p".into(), g.rng_mut().gen_range(0..256));
+        let in_map: HashMap<u64, u64> =
+            (0..16).map(|i| (i, g.rng_mut().gen_range(0..256))).collect();
+        inputs.arrays.insert("in".into(), in_map.clone());
+
+        let truth = pug_ir::run_concrete(&unit.kernel, &unit.types, &cfg, &inputs).unwrap();
+
         let mut ctx = pug_smt::Ctx::new();
         let enc = pugpara::nonparam::encode(&mut ctx, &unit, &cfg, "s").unwrap();
         let mut env = Env::new();
@@ -173,7 +162,7 @@ fn param_self_equivalence_on_random_race_free_kernels() {
         if race_free_seen >= 4 {
             break;
         }
-        let mut g = Gen::new(seed * 131 + 3);
+        let mut g = KernelGen::basic(seed * 131 + 3);
         let src = g.kernel();
         let unit = KernelUnit::load(&src).unwrap();
         // Single (symbolic-width) block: the generator indexes by tid.x, so

@@ -1,0 +1,227 @@
+//! Portfolio-racing determinism: the property the whole parallel runner
+//! stands on. Racing-mode verdicts must be (a) identical across repeated
+//! runs — scheduling and completion order must never leak into the
+//! verdict — and (b) equal, verdict and soundness level both, to the
+//! sequential degradation ladder, on the real kernel corpus and on fuzzed
+//! kernels, including under deterministic fault injection.
+//!
+//! Failpoints are process-global and racing tests are CPU-heavy, so every
+//! test in this binary serializes on one lock and resets the registry on
+//! exit (even on assertion failure).
+
+use pugpara::failpoints::{self, Fault};
+use pugpara::portfolio::{run_portfolio, PortfolioOptions};
+use pugpara::runner::{run_resilient, ResilientReport, Rung, RungOutcome, RunnerOptions};
+use pugpara::{KernelUnit, Soundness, Verdict};
+use pug_ir::GpuConfig;
+use pug_testutil::KernelGen;
+use std::sync::{Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+struct Scope(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Scope {
+    fn armed(sites: &[(&str, Fault)]) -> Scope {
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        failpoints::reset();
+        for &(site, fault) in sites {
+            failpoints::arm(site, fault);
+        }
+        Scope(guard)
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        failpoints::reset();
+    }
+}
+
+/// Canonical fingerprint of a report: everything the determinism property
+/// quantifies over — verdict kind, soundness level, bug class, and the
+/// rung that answered.
+fn fingerprint(r: &ResilientReport) -> String {
+    let verdict = match &r.verdict {
+        Verdict::Verified(Soundness::Sound) => "verified/sound".to_string(),
+        Verdict::Verified(Soundness::UnderApprox) => "verified/under-approx".to_string(),
+        Verdict::Bug(b) => format!("bug/{:?}", b.kind),
+        Verdict::Timeout => "timeout".to_string(),
+    };
+    match r.provenance.answered_by {
+        Some(rung) => format!("{verdict} by {rung}"),
+        None => format!("{verdict} by nobody"),
+    }
+}
+
+/// The corpus pairs the racing ladder is compared on: every headline
+/// `crates/kernels` equivalence pair, verified and buggy alike, each with
+/// the ladder policy it is checked under.
+fn corpus_pairs() -> Vec<(&'static str, KernelUnit, KernelUnit, GpuConfig, RunnerOptions)> {
+    let load = |s: &str| KernelUnit::load(s).unwrap();
+    // The fully symbolic transpose Param rung needs ~19 s; a 2 s per-rung
+    // deadline makes it time out deterministically (10x margin) and the
+    // "+C." rung answer instead — so this pair exercises the deadline and
+    // concretization paths of the race without dominating the suite.
+    let transpose_opts = RunnerOptions::with_rung_timeout(std::time::Duration::from_secs(2))
+        .concretized("width", 8)
+        .concretized("height", 8);
+    vec![
+        (
+            "transpose naive/opt",
+            load(pug_kernels::transpose::NAIVE),
+            load(pug_kernels::transpose::OPTIMIZED),
+            GpuConfig::symbolic_2d(8),
+            transpose_opts,
+        ),
+        (
+            "transpose naive/buggy-addr",
+            load(pug_kernels::transpose::NAIVE),
+            load(pug_kernels::transpose::BUGGY_ADDR),
+            GpuConfig::symbolic_2d(8),
+            RunnerOptions::default(),
+        ),
+        (
+            "reduction v0/v1",
+            load(pug_kernels::reduction::V0),
+            load(pug_kernels::reduction::V1),
+            GpuConfig::symbolic_1d(8),
+            RunnerOptions::default(),
+        ),
+        (
+            "reduction v0/buggy-index",
+            load(pug_kernels::reduction::V0),
+            load(pug_kernels::reduction::BUGGY_INDEX),
+            GpuConfig::symbolic_1d(8),
+            RunnerOptions::default(),
+        ),
+        (
+            "vector-add ok/buggy",
+            load(pug_kernels::vector_add::KERNEL),
+            load(pug_kernels::vector_add::BUGGY),
+            GpuConfig::symbolic_1d(8),
+            RunnerOptions::default(),
+        ),
+    ]
+}
+
+/// Racing is verdict-identical to the sequential ladder and stable across
+/// 10 repeated runs on every corpus pair.
+#[test]
+fn racing_matches_sequential_on_corpus_pairs() {
+    let _scope = Scope::armed(&[]);
+    for (name, src, tgt, cfg, ropts) in corpus_pairs() {
+        let seq = run_resilient(&src, &tgt, &cfg, &ropts);
+        let want = fingerprint(&seq);
+        let opts = PortfolioOptions::with_runner(ropts);
+        for run in 0..10 {
+            let race = run_portfolio(&src, &tgt, &cfg, &opts);
+            let got = fingerprint(&race);
+            assert_eq!(
+                got, want,
+                "{name}, run {run}: racing diverged from sequential\nsequential:\n{}\nracing:\n{}",
+                seq.provenance.render(),
+                race.provenance.render()
+            );
+        }
+    }
+}
+
+/// The same property on the fuzzed extended corpus (barriers, shared
+/// arrays, guarded writes). No race-free filter here, deliberately:
+/// determinism must hold on *any* input — racy fuzz kernels included —
+/// because the sequential ladder is deterministic on all of them and
+/// racing must reproduce whatever it says (bug verdicts too).
+#[test]
+fn racing_matches_sequential_on_fuzzed_corpus() {
+    let _scope = Scope::armed(&[]);
+    let opts = PortfolioOptions::default();
+    for seed in 0..3u64 {
+        let src_text = KernelGen::extended(seed * 71 + 9).kernel();
+        let unit = KernelUnit::load(&src_text).unwrap();
+        // Single symbolic-width block, as in the differential suite: the
+        // generator indexes by tid.x only.
+        let cfg = GpuConfig {
+            bits: 8,
+            bdim: [pug_ir::Extent::Sym, pug_ir::Extent::Const(1), pug_ir::Extent::Const(1)],
+            gdim: [pug_ir::Extent::Const(1), pug_ir::Extent::Const(1)],
+        };
+        let seq = run_resilient(&unit, &unit, &cfg, &RunnerOptions::default());
+        let want = fingerprint(&seq);
+        for run in 0..10 {
+            let race = run_portfolio(&unit, &unit, &cfg, &opts);
+            assert_eq!(
+                fingerprint(&race),
+                want,
+                "fuzz seed {seed}, run {run} diverged\n{src_text}\nsequential:\n{}\nracing:\n{}",
+                seq.provenance.render(),
+                race.provenance.render()
+            );
+        }
+    }
+}
+
+/// Determinism holds under fault injection too: with the Param rung
+/// deterministically exhausted, racing answers on the same fallback rung
+/// as the sequential ladder, 10 runs out of 10.
+#[test]
+fn racing_deterministic_under_fault_injection() {
+    let _scope = Scope::armed(&[("runner::param", Fault::BudgetExhausted)]);
+    let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+    let cfg = GpuConfig::symbolic_2d(8);
+    let seq = run_resilient(&naive, &naive, &cfg, &RunnerOptions::default());
+    let want = fingerprint(&seq);
+    assert_eq!(seq.provenance.answered_by, Some(Rung::NonParam { n: 4 }));
+    for run in 0..10 {
+        let race = run_portfolio(&naive, &naive, &cfg, &PortfolioOptions::default());
+        assert_eq!(
+            fingerprint(&race),
+            want,
+            "run {run} diverged under fault injection:\n{}",
+            race.provenance.render()
+        );
+        assert!(matches!(
+            race.verdict,
+            Verdict::Verified(Soundness::UnderApprox)
+        ));
+    }
+}
+
+/// Regression (budget splitting): injected budget exhaustion on one
+/// racing rung must never cancel a sibling. The Param rung exhausts; the
+/// NonParam sibling must still *answer* — not time out, not be abandoned —
+/// and the verdict must be its honestly-downgraded one.
+#[test]
+fn exhausted_rung_budget_never_cancels_sibling() {
+    let _scope = Scope::armed(&[("runner::param", Fault::BudgetExhausted)]);
+    let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+    let report = run_portfolio(
+        &naive,
+        &naive,
+        &GpuConfig::symbolic_2d(8),
+        &PortfolioOptions::default(),
+    );
+    let outcome_of = |rung: Rung| {
+        &report
+            .provenance
+            .rungs
+            .iter()
+            .find(|r| r.rung == rung)
+            .unwrap_or_else(|| panic!("no record for {rung}"))
+            .outcome
+    };
+    // The faulted rung reports its own exhaustion...
+    assert!(
+        matches!(outcome_of(Rung::Param), RungOutcome::Timeout),
+        "{}",
+        report.provenance.render()
+    );
+    // ...while the sibling fallback still answers on its own budget.
+    assert!(
+        matches!(outcome_of(Rung::NonParam { n: 4 }), RungOutcome::Answered),
+        "sibling was taken down with the exhausted rung: {}",
+        report.provenance.render()
+    );
+    assert_eq!(report.provenance.answered_by, Some(Rung::NonParam { n: 4 }));
+    assert!(matches!(report.verdict, Verdict::Verified(Soundness::UnderApprox)));
+}
