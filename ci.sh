@@ -25,6 +25,11 @@ run_suite "fault-injection smoke (sequential)" \
   cargo run --release -p pug-bench --bin repro-tables -- --fault-injection --timeout 20
 run_suite "fault-injection smoke (portfolio)" \
   cargo run --release -p pug-bench --bin repro-tables -- --portfolio --fault-injection
+# Incremental-vs-one-shot perf smoke: runs multi-obligation equivalence rows
+# through both backends and exits non-zero if any verdict diverges.
+run_suite "incremental perf smoke" \
+  cargo run --release -p pug-bench --bin repro-tables -- \
+    --bench-json /tmp/bench_pr4_ci.json --quick --timeout 60
 
 echo
 echo "== wall-clock summary"

@@ -1,0 +1,308 @@
+//! Machine-readable incremental-vs-one-shot benchmark (`--bench-json`).
+//!
+//! Each row is a verification *scenario* — one or more `check_equivalence_param`
+//! phases over a kernel pair, modelling how the resilient runner and the
+//! portfolio actually issue obligations. Ladder rows run the degradation
+//! ladder's FastBugHunt screen followed by a full proof: the two phases
+//! overlap on every value obligation, which is exactly the duplication the
+//! cross-rung [`QueryCache`] exists to eliminate. Single-phase rows measure
+//! the raw session against the one-shot path with no obligation overlap
+//! (including rows where the persistent session is *slower* — easy queries
+//! pay the session's larger live CNF without earning anything back; the
+//! grid keeps them for honesty).
+//!
+//! Every scenario runs twice: once through the persistent
+//! [`pug_smt::SolveSession`] backend with a shared per-row [`QueryCache`]
+//! (`CheckOptions::default()`, what the runner/portfolio entry points use)
+//! and once through the one-shot `check_detailed` path
+//! (`CheckOptions::one_shot()`, no cache). Per-stage timings
+//! (reduce / blast / solve), cache hit rates and clause reuse go out as
+//! JSON so the repo has a perf trajectory later PRs can diff. Phase-for-
+//! phase verdict agreement between the two modes is the correctness smoke:
+//! the caller exits non-zero when any row diverges.
+
+use pugpara::equiv::{check_equivalence_param, CheckOptions, Mode, Report};
+use pugpara::{KernelUnit, QueryCache, Soundness, Verdict};
+use pug_ir::GpuConfig;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Options factory handed to a row: yields fresh, identically-configured
+/// [`CheckOptions`] for each phase of the scenario (mode set per phase;
+/// incremental/one-shot and the shared cache fixed per run).
+type MkOpts<'a> = &'a dyn Fn(Mode) -> CheckOptions;
+
+/// A scenario body: runs its phases with options from the factory and
+/// returns one report per phase (`None` = the check errored).
+type RowRun = Box<dyn Fn(MkOpts) -> Vec<Option<Report>>>;
+
+/// One benchmark row: a named scenario returning one report per phase.
+struct RowSpec {
+    name: &'static str,
+    run: RowRun,
+}
+
+fn load(src: &str) -> KernelUnit {
+    KernelUnit::load(src).expect("corpus parses")
+}
+
+/// FastBugHunt screen, then a full proof — the runner's ladder order. The
+/// prove phase re-issues every value obligation the hunt already
+/// discharged; with the shared cache those come back as hits.
+fn ladder(
+    src: &'static str,
+    tgt: &'static str,
+    cfg: GpuConfig,
+    conc: &'static [(&'static str, u64)],
+) -> RowRun {
+    Box::new(move |mk| {
+        let src = load(src);
+        let tgt = load(tgt);
+        let with_conc = |mut o: CheckOptions| {
+            for &(name, val) in conc {
+                o = o.concretized(name, val);
+            }
+            o
+        };
+        let hunt =
+            check_equivalence_param(&src, &tgt, &cfg, &with_conc(mk(Mode::FastBugHunt))).ok();
+        let prove = check_equivalence_param(&src, &tgt, &cfg, &with_conc(mk(Mode::Prove))).ok();
+        vec![hunt, prove]
+    })
+}
+
+fn rows(quick: bool) -> Vec<RowSpec> {
+    let mut rows: Vec<RowSpec> = Vec::new();
+    if !quick {
+        // The heavyweight row: height stays symbolic, so the hunt's value
+        // query is a hard multi-second search the prove phase gets for free.
+        rows.push(RowSpec {
+            name: "transpose+W/hunt+prove/8b",
+            run: ladder(
+                pug_kernels::transpose::NAIVE,
+                pug_kernels::transpose::OPTIMIZED,
+                GpuConfig::symbolic_2d(8),
+                &[("width", 16)],
+            ),
+        });
+    }
+    rows.push(RowSpec {
+        name: "transpose+C/hunt+prove/12b",
+        run: ladder(
+            pug_kernels::transpose::NAIVE,
+            pug_kernels::transpose::OPTIMIZED,
+            GpuConfig::symbolic_2d(12),
+            &[("width", 16), ("height", 16)],
+        ),
+    });
+    rows.push(RowSpec {
+        name: "transpose-unconstrained/hunt+prove/8b",
+        run: ladder(
+            pug_kernels::transpose::NAIVE,
+            pug_kernels::transpose::OPTIMIZED_UNCONSTRAINED,
+            GpuConfig::symbolic_2d(8),
+            &[],
+        ),
+    });
+    rows.push(RowSpec {
+        name: "scalar_product/hunt+prove/8b",
+        run: ladder(
+            pug_kernels::scalar_product::KERNEL,
+            pug_kernels::scalar_product::KERNEL,
+            GpuConfig::symbolic_1d(8),
+            &[],
+        ),
+    });
+    // Single-phase rows: no obligation overlap, so these measure the bare
+    // session (easy many-query rows are where it is at its weakest).
+    rows.push(RowSpec {
+        name: "reduction/param/12b",
+        run: Box::new(|mk| {
+            let bound = pug_kernels::reduction::safe_block_bound(12);
+            let v0 = load(&pug_kernels::reduction::v0_bounded(bound));
+            let v1 = load(&pug_kernels::reduction::v1_bounded(bound));
+            let cfg = GpuConfig::symbolic_1d(12);
+            vec![check_equivalence_param(&v0, &v1, &cfg, &mk(Mode::Prove)).ok()]
+        }),
+    });
+    rows.push(RowSpec {
+        name: "reduction-buggy/param/12b",
+        run: Box::new(|mk| {
+            let bound = pug_kernels::reduction::safe_block_bound(12);
+            let v0 = load(&pug_kernels::reduction::v0_bounded(bound));
+            let buggy = load(&pug_kernels::reduction::buggy_index_bounded(bound));
+            let cfg = GpuConfig::symbolic_1d(12);
+            vec![check_equivalence_param(&v0, &buggy, &cfg, &mk(Mode::Prove)).ok()]
+        }),
+    });
+    rows
+}
+
+/// Aggregated metrics of one mode's run of one row (all phases).
+#[derive(Default)]
+struct ModeMetrics {
+    /// Per-phase verdict classes joined with `+`, e.g. `clean+verified`.
+    verdict: String,
+    wall: Duration,
+    solver: Duration,
+    reduce: Duration,
+    blast: Duration,
+    solve: Duration,
+    queries: usize,
+    cached_queries: usize,
+    conflicts: u64,
+    clauses_reused: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+}
+
+fn verdict_class(v: Option<&Verdict>) -> &'static str {
+    match v {
+        Some(Verdict::Verified(Soundness::Sound)) => "verified",
+        Some(Verdict::Verified(_)) => "clean",
+        Some(Verdict::Bug(_)) => "bug",
+        Some(Verdict::Timeout) => "timeout",
+        None => "error",
+    }
+}
+
+fn run_mode(spec: &RowSpec, timeout: Duration, incremental: bool) -> ModeMetrics {
+    let cache = incremental.then(QueryCache::new);
+    let mk = |mode: Mode| {
+        let mut o = CheckOptions::with_timeout(timeout);
+        o.mode = mode;
+        if !incremental {
+            o = o.one_shot();
+        }
+        if let Some(c) = &cache {
+            o = o.with_query_cache(c.clone());
+        }
+        o
+    };
+    let started = Instant::now();
+    let reports = (spec.run)(&mk);
+    let mut m = ModeMetrics { wall: started.elapsed(), ..ModeMetrics::default() };
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            m.verdict.push('+');
+        }
+        m.verdict.push_str(verdict_class(report.as_ref().map(|r| &r.verdict)));
+        if let Some(r) = report {
+            m.solver += r.solver_time();
+            m.queries += r.queries.len();
+            for q in &r.queries {
+                m.reduce += q.stats.reduce_time;
+                m.blast += q.stats.blast_time;
+                m.solve += q.stats.solve_time;
+                m.conflicts += q.stats.sat.conflicts;
+                m.clauses_reused += q.stats.clauses_reused;
+                if q.stats.cached {
+                    m.cached_queries += 1;
+                }
+            }
+        }
+    }
+    if let Some(c) = &cache {
+        m.cache_hits = c.hits();
+        m.cache_misses = c.misses();
+    }
+    m
+}
+
+fn json_mode(out: &mut String, key: &str, m: &ModeMetrics) {
+    let _ = write!(
+        out,
+        "    \"{key}\": {{\"verdict\": \"{}\", \"wall_secs\": {:.3}, \
+         \"solver_secs\": {:.3}, \"reduce_secs\": {:.3}, \"blast_secs\": {:.3}, \
+         \"solve_secs\": {:.3}, \"queries\": {}, \"cached_queries\": {}, \
+         \"conflicts\": {}, \"clauses_reused\": {}, \"cache_hits\": {}, \
+         \"cache_misses\": {}}}",
+        m.verdict,
+        m.wall.as_secs_f64(),
+        m.solver.as_secs_f64(),
+        m.reduce.as_secs_f64(),
+        m.blast.as_secs_f64(),
+        m.solve.as_secs_f64(),
+        m.queries,
+        m.cached_queries,
+        m.conflicts,
+        m.clauses_reused,
+        m.cache_hits,
+        m.cache_misses,
+    );
+}
+
+/// Result of the benchmark: the JSON document plus the headline numbers the
+/// caller prints and gates on.
+pub struct BenchJsonReport {
+    pub json: String,
+    pub rows_total: usize,
+    pub rows_agreeing: usize,
+    /// Σ one-shot wall / Σ incremental wall across rows.
+    pub aggregate_speedup: f64,
+}
+
+/// Run the incremental-vs-one-shot grid and render it as JSON.
+pub fn bench_json_report(timeout: Duration, quick: bool) -> BenchJsonReport {
+    let specs = rows(quick);
+    let mut json = String::from("{\n  \"bench\": \"pr4-incremental-backend\",\n");
+    let _ = writeln!(json, "  \"timeout_secs\": {},", timeout.as_secs());
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"rows\": [\n");
+
+    let mut agree = 0usize;
+    let mut inc_wall = Duration::ZERO;
+    let mut one_wall = Duration::ZERO;
+    for (i, spec) in specs.iter().enumerate() {
+        eprintln!("bench-json: {} (incremental)", spec.name);
+        let inc = run_mode(spec, timeout, true);
+        eprintln!("bench-json: {} (one-shot)", spec.name);
+        let one = run_mode(spec, timeout, false);
+        let rows_agree = inc.verdict == one.verdict;
+        if rows_agree {
+            agree += 1;
+        }
+        inc_wall += inc.wall;
+        one_wall += one.wall;
+        let speedup = one.wall.as_secs_f64() / inc.wall.as_secs_f64().max(1e-9);
+
+        json.push_str("  {\n");
+        let _ = writeln!(json, "    \"name\": \"{}\",", spec.name);
+        let _ = writeln!(json, "    \"agree\": {rows_agree},");
+        let _ = writeln!(json, "    \"speedup\": {speedup:.2},");
+        json_mode(&mut json, "incremental", &inc);
+        json.push_str(",\n");
+        json_mode(&mut json, "one_shot", &one);
+        json.push('\n');
+        json.push_str(if i + 1 == specs.len() { "  }\n" } else { "  },\n" });
+    }
+
+    let aggregate = one_wall.as_secs_f64() / inc_wall.as_secs_f64().max(1e-9);
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"rows_total\": {},", specs.len());
+    let _ = writeln!(json, "  \"rows_agreeing\": {agree},");
+    let _ = writeln!(json, "  \"aggregate_speedup\": {aggregate:.2}");
+    json.push_str("}\n");
+
+    BenchJsonReport {
+        json,
+        rows_total: specs.len(),
+        rows_agreeing: agree,
+        aggregate_speedup: aggregate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_agrees_and_is_valid_jsonish() {
+        let r = bench_json_report(Duration::from_secs(60), true);
+        assert_eq!(r.rows_agreeing, r.rows_total, "{}", r.json);
+        // Sanity on the hand-rolled JSON: balanced braces/brackets, no NaN.
+        assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());
+        assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
+        assert!(!r.json.contains("NaN"));
+    }
+}

@@ -19,6 +19,7 @@ struct Args {
     quick: bool,
     fault_injection: bool,
     portfolio: bool,
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -28,6 +29,7 @@ fn parse_args() -> Args {
         quick: false,
         fault_injection: false,
         portfolio: false,
+        bench_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -41,6 +43,9 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--fault-injection" => args.fault_injection = true,
             "--portfolio" => args.portfolio = true,
+            "--bench-json" => {
+                args.bench_json = Some(it.next().unwrap_or_else(|| usage("missing path")))
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -54,7 +59,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro-tables [--table 2|3|scaling|all] [--timeout SECS] [--quick] \
-         [--fault-injection] [--portfolio]"
+         [--fault-injection] [--portfolio] [--bench-json PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -118,6 +123,27 @@ fn fault_injection_smoke(timeout: Duration) {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.bench_json {
+        // Incremental-vs-one-shot grid: per-stage timings + cache stats as
+        // JSON; verdict divergence between the two solving modes is a
+        // correctness failure (this doubles as the CI perf smoke).
+        let report = pug_bench::bench_json_report(args.timeout, args.quick);
+        if let Err(e) = std::fs::write(path, &report.json) {
+            eprintln!("bench-json: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "bench-json: {} rows, {} agreeing, aggregate speedup {:.2}x -> {path}",
+            report.rows_total, report.rows_agreeing, report.aggregate_speedup
+        );
+        if report.rows_agreeing != report.rows_total {
+            eprintln!(
+                "bench-json: verdict divergence between incremental and one-shot paths"
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.portfolio {
         if args.fault_injection {
             let failures = pug_bench::portfolio_fault_smoke();

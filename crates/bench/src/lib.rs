@@ -13,10 +13,12 @@
 //! concretization rescuing hard instances) is the reproduction target. See
 //! EXPERIMENTS.md for the side-by-side record.
 
+pub mod bench_json;
 pub mod cells;
 pub mod portfolio;
 pub mod tables;
 
+pub use bench_json::{bench_json_report, BenchJsonReport};
 pub use cells::Outcome;
 pub use portfolio::{batch_demo, portfolio_fault_smoke, portfolio_rows, render_race_rows, RaceRow};
 pub use tables::{render_rows, scaling_rows, table2_rows, table3_rows, TableRow};

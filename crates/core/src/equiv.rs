@@ -33,8 +33,12 @@ use pug_ir::{
     align_headers, normalize_header, split_bis, Alignment, BoundConfig, GpuConfig, LoopSpace,
     Segment,
 };
-use pug_smt::{check_detailed, Budget, CancelToken, CheckStats, Ctx, Op, SmtResult, Sort, TermId};
-use std::collections::HashMap;
+use crate::portfolio::QueryCache;
+use pug_smt::{
+    assert_fingerprint, check_detailed, Budget, CancelToken, CheckStats, Ctx, Op, SmtResult,
+    SolveSession, Sort, TermId,
+};
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// Checking mode (paper §IV-A / §IV-D).
@@ -68,6 +72,14 @@ pub struct CheckOptions {
     pub max_clause_bytes: Option<usize>,
     /// Memory cap on hash-consed term nodes in the SMT context.
     pub max_term_nodes: Option<usize>,
+    /// Solve the check's queries through one persistent [`SolveSession`]
+    /// (committed shared prefix + assumption-guarded goals) instead of a
+    /// fresh solver per query. On by default; the one-shot path remains for
+    /// differential testing and benchmarking.
+    pub incremental: bool,
+    /// Cross-rung cache of discharged obligations, shared by the portfolio
+    /// scheduler; `None` disables caching.
+    pub query_cache: Option<QueryCache>,
 }
 
 impl Default for CheckOptions {
@@ -80,6 +92,8 @@ impl Default for CheckOptions {
             cancel: CancelToken::new(),
             max_clause_bytes: None,
             max_term_nodes: None,
+            incremental: true,
+            query_cache: None,
         }
     }
 }
@@ -105,6 +119,18 @@ impl CheckOptions {
     /// Attach a cancellation token (shared with a watchdog/supervisor).
     pub fn with_cancel(mut self, token: CancelToken) -> CheckOptions {
         self.cancel = token;
+        self
+    }
+
+    /// Disable the incremental session: every query builds a fresh solver.
+    pub fn one_shot(mut self) -> CheckOptions {
+        self.incremental = false;
+        self
+    }
+
+    /// Attach a cross-rung query cache.
+    pub fn with_query_cache(mut self, cache: QueryCache) -> CheckOptions {
+        self.query_cache = Some(cache);
         self
     }
 }
@@ -146,6 +172,16 @@ pub(crate) struct Session {
     bits: u32,
     pub soundness: Soundness,
     mode: Mode,
+    /// The persistent incremental solver, used when `incremental` is set.
+    solve: SolveSession,
+    /// Un-concretized ids of premises committed into the session's shared
+    /// prefix; `query` subtracts these so only the delta is re-encoded.
+    committed: HashSet<TermId>,
+    incremental: bool,
+    cache: Option<QueryCache>,
+    /// Memo for canonical fingerprints (the term DAG is append-only, so
+    /// entries never go stale).
+    canon_memo: HashMap<TermId, u128>,
 }
 
 /// Internal control flow: `Some` means stop with this verdict.
@@ -191,6 +227,48 @@ impl Session {
                 Mode::FastBugHunt => Soundness::UnderApprox,
             },
             mode: opts.mode,
+            solve: SolveSession::new(),
+            committed: HashSet::new(),
+            incremental: opts.incremental,
+            cache: opts.query_cache.clone(),
+            canon_memo: HashMap::new(),
+        }
+    }
+
+    /// Open a fresh solve-session epoch. The persistent session accumulates
+    /// permanent Tseitin gates for every term it ever blasts, and each SAT
+    /// call must assign and propagate the *whole* live CNF — so an unbounded
+    /// session makes query N pay O(session age) even when the query itself
+    /// is tiny. Lockstep callers window the session per segment: queries
+    /// inside one segment share their (large) region premises through one
+    /// epoch, while the next segment starts from a clean solver and
+    /// re-commits only the small accumulated base.
+    pub(crate) fn begin_epoch(&mut self) {
+        if !self.incremental {
+            return;
+        }
+        self.solve = SolveSession::new();
+        self.committed.clear();
+    }
+
+    /// Commit premises into the session's shared prefix: they are reduced,
+    /// blasted and asserted permanently, so later queries pay only their
+    /// delta. **Only premises contained in every later query of this check
+    /// may be committed** — the callers pass the monotonically growing
+    /// `base` premise sets, never per-segment `extra`s.
+    pub(crate) fn commit_prefix(&mut self, terms: &[TermId]) {
+        if !self.incremental {
+            return;
+        }
+        let mut fresh: Vec<TermId> = Vec::new();
+        for &t in terms {
+            if self.committed.insert(t) {
+                let c = self.concretize(t);
+                fresh.push(c);
+            }
+        }
+        if !fresh.is_empty() {
+            self.solve.commit(&mut self.ctx, &fresh, &self.budget);
         }
     }
 
@@ -209,16 +287,57 @@ impl Session {
     }
 
     /// Run `premises ⇒ goal` as an UNSAT query, recording statistics.
+    ///
+    /// Callers always pass the *full* premise set; already-committed
+    /// premises are subtracted here on the incremental path (they are
+    /// permanent clauses in the session), and the cross-rung cache is
+    /// consulted on the full concretized assert set before any solving.
     pub(crate) fn query(&mut self, label: &str, premises: &[TermId], goal: TermId) -> SmtResult {
+        let started = Instant::now();
         let mut asserts: Vec<TermId> = Vec::with_capacity(premises.len() + 1);
+        let mut delta: Vec<TermId> = Vec::new();
         for &p in premises {
-            asserts.push(self.concretize(p));
+            let committed = self.committed.contains(&p);
+            let c = self.concretize(p);
+            asserts.push(c);
+            if !committed {
+                delta.push(c);
+            }
         }
         let g = self.concretize(goal);
         let ng = self.ctx.mk_not(g);
         asserts.push(ng);
-        let started = Instant::now();
-        let (r, stats) = check_detailed(&mut self.ctx, &asserts, &self.budget);
+        delta.push(ng);
+
+        // Cross-rung cache: the fingerprint covers the full assert set, so
+        // it is identical whichever path (or rung) would solve it.
+        let fp = if self.cache.is_some() {
+            Some(assert_fingerprint(&self.ctx, &asserts, &mut self.canon_memo))
+        } else {
+            None
+        };
+        if let (Some(cache), Some(f)) = (&self.cache, fp) {
+            if cache.lookup_unsat(f) {
+                self.queries.push(QueryStat {
+                    label: label.to_string(),
+                    outcome: "valid (cached)".into(),
+                    duration: started.elapsed(),
+                    stats: CheckStats { cached: true, ..CheckStats::default() },
+                });
+                return SmtResult::Unsat;
+            }
+        }
+
+        let (r, stats) = if self.incremental {
+            self.solve.check(&mut self.ctx, &delta, &self.budget)
+        } else {
+            check_detailed(&mut self.ctx, &asserts, &self.budget)
+        };
+        if let (Some(cache), Some(f)) = (&self.cache, fp) {
+            if r.is_unsat() {
+                cache.record_unsat(f);
+            }
+        }
         self.queries.push(QueryStat {
             label: label.to_string(),
             outcome: match &r {
@@ -363,6 +482,8 @@ fn whole_kernel_equiv(
     base.extend(region_s.outputs.assumptions.iter().copied());
     base.extend(region_t.outputs.assumptions.iter().copied());
 
+    // Every query of this check carries `base` — commit it once.
+    sess.commit_prefix(&base);
     compare_regions(sess, bound, &region_s, &region_t, &outputs, &base, &[])
 }
 
@@ -784,6 +905,10 @@ fn lockstep_equiv(
     let mut accumulated: Vec<TermId> = bound.constraints.clone();
 
     for (i, (ss, ts)) in segs_s.iter().zip(segs_t.iter()).enumerate() {
+        // One solve-session epoch per segment: later segments never query
+        // this segment's region premises again, so carrying their gate
+        // clauses forward would only tax every later propagation.
+        sess.begin_epoch();
         // Segment-entry state: shared between the two kernels (the
         // inductive hypothesis). Kernel-entry shared memory stays
         // uninitialized per kernel.
@@ -831,6 +956,10 @@ fn lockstep_equiv(
                 accumulated.extend(region_s.outputs.assumptions.iter().copied());
                 accumulated.extend(region_t.outputs.assumptions.iter().copied());
                 let base = accumulated.clone();
+                // `accumulated` only ever grows, so each segment's base is
+                // contained in every later segment's queries — safe to
+                // commit incrementally (the delta is the new assumptions).
+                sess.commit_prefix(&base);
                 if let Some(v) =
                     compare_regions(sess, bound, &region_s, &region_t, &outputs, &base, &[])?
                 {
@@ -918,6 +1047,9 @@ fn lockstep_equiv(
                 accumulated.extend(region_s.outputs.assumptions.iter().copied());
                 accumulated.extend(region_t.outputs.assumptions.iter().copied());
                 let base = accumulated.clone();
+                // Commit only `base`; the loop-space `extra` premises are
+                // per-segment and must stay retractable.
+                sess.commit_prefix(&base);
                 if let Some(v) =
                     compare_regions(sess, bound, &region_s, &region_t, &outputs, &base, &extra)?
                 {

@@ -71,7 +71,7 @@ pub use equiv::{
 pub use error::Error;
 pub use kernel::KernelUnit;
 pub use perf::{check_bank_conflicts, check_coalescing, PerfReport};
-pub use portfolio::{run_portfolio, verify_all, PortfolioOptions, VerifyTask, WorkerPool};
+pub use portfolio::{run_portfolio, verify_all, PortfolioOptions, QueryCache, VerifyTask, WorkerPool};
 pub use postcond::{check_postcondition_nonparam, check_postcondition_param};
 pub use pug_smt::failpoints;
 pub use race::check_races;

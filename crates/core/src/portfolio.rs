@@ -50,11 +50,88 @@ use crate::equiv::Report;
 use crate::verdict::Verdict;
 use pug_ir::GpuConfig;
 use pug_smt::CancelToken;
+use std::collections::HashSet;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Cross-rung cache of obligations already proven unsatisfiable.
+///
+/// Portfolio rungs race *different encodings of the same kernel pair*, and
+/// several of them (Param and FastBugHunt verbatim; Param+C when nothing is
+/// concretized away) issue structurally identical value queries. The cache
+/// keys on the canonical fingerprint of the fully concretized assert set
+/// ([`pug_smt::assert_fingerprint`]), which is context-independent — the
+/// deterministic encoders produce the same variable names in every rung's
+/// private [`pug_smt::Ctx`], so equal obligations collide across rungs.
+///
+/// Only **Unsat** ("obligation valid") verdicts are cached: a `Sat` answer
+/// carries a model whose terms live in the answering rung's context, and
+/// `Unknown` is budget-dependent. Unsat is also the common case — every
+/// discharged proof obligation — and the one worth sharing.
+#[derive(Clone, Default)]
+pub struct QueryCache {
+    unsat: Arc<Mutex<HashSet<u128>>>,
+    hits: Arc<AtomicUsize>,
+    misses: Arc<AtomicUsize>,
+}
+
+impl QueryCache {
+    pub fn new() -> QueryCache {
+        QueryCache::default()
+    }
+
+    /// Is this fingerprint a known-unsat assert set? Counts a hit or miss.
+    pub fn lookup_unsat(&self, fp: u128) -> bool {
+        let hit = self.unsat.lock().map(|s| s.contains(&fp)).unwrap_or(false);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Record a proven-unsat assert set.
+    pub fn record_unsat(&self, fp: u128) {
+        if let Ok(mut s) = self.unsat.lock() {
+            s.insert(fp);
+        }
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to be solved.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct unsat fingerprints stored.
+    pub fn len(&self) -> usize {
+        self.unsat.lock().map(|s| s.len()).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
 
 /// A boxed unit of work for the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -267,6 +344,14 @@ pub fn verify_all(tasks: &[VerifyTask], opts: &PortfolioOptions) -> Vec<Resilien
     let pool = WorkerPool::new(threads.min(width * tasks.len()));
     let (tx, rx) = channel::<RungMsg>();
 
+    // One query cache per batch: rungs racing the same task (and identical
+    // tasks within the batch) share discharged obligations, so no obligation
+    // is ever solved twice across the portfolio.
+    let mut runner_opts = opts.runner.clone();
+    if runner_opts.query_cache.is_none() {
+        runner_opts.query_cache = Some(QueryCache::new());
+    }
+
     let mut states: Vec<TaskState> = Vec::with_capacity(tasks.len());
     for (t, task) in tasks.iter().enumerate() {
         let root = CancelToken::new();
@@ -276,7 +361,7 @@ pub fn verify_all(tasks: &[VerifyTask], opts: &PortfolioOptions) -> Vec<Resilien
             let token = state.tokens[i].clone();
             let tx = tx.clone();
             let task = Arc::clone(&shared);
-            let ropts = opts.runner.clone();
+            let ropts = runner_opts.clone();
             let timeout = rung_timeout(&ropts, i);
             pool.submit(Box::new(move || {
                 let (result, elapsed, queries) = if token.is_cancelled() {

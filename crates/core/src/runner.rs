@@ -212,6 +212,10 @@ pub struct RunnerOptions {
     pub max_clause_bytes: Option<usize>,
     /// Memory cap on hash-consed term nodes, per rung.
     pub max_term_nodes: Option<usize>,
+    /// Cross-rung cache of discharged obligations. `None` makes each
+    /// runner/batch entry point create its own, so rungs of one run always
+    /// share; supply one explicitly to share across runs.
+    pub query_cache: Option<crate::portfolio::QueryCache>,
 }
 
 impl Default for RunnerOptions {
@@ -223,6 +227,7 @@ impl Default for RunnerOptions {
             fallback_ns: vec![4],
             max_clause_bytes: None,
             max_term_nodes: None,
+            query_cache: None,
         }
     }
 }
@@ -414,6 +419,7 @@ pub(crate) fn dispatch_rung(
 ) -> Result<Report, Error> {
     check_opts.max_clause_bytes = opts.max_clause_bytes;
     check_opts.max_term_nodes = opts.max_term_nodes;
+    check_opts.query_cache = opts.query_cache.clone();
     match rung {
         Rung::Param => check_equivalence_param(src, tgt, cfg, &check_opts),
         Rung::ParamConcretized => {
@@ -457,6 +463,17 @@ pub fn run_resilient(
     let mut prov = Provenance::default();
     let (ladder, skipped) = build_ladder(opts);
     prov.rungs.extend(skipped);
+
+    // Ladder descent reuses discharged obligations: what the Param rung
+    // proved before timing out, FastBugHunt need not prove again.
+    let mut opts_with_cache;
+    let opts = if opts.query_cache.is_none() {
+        opts_with_cache = opts.clone();
+        opts_with_cache.query_cache = Some(crate::portfolio::QueryCache::new());
+        &opts_with_cache
+    } else {
+        opts
+    };
 
     for (index, rung) in ladder.into_iter().enumerate() {
         let timeout = rung_timeout(opts, index);

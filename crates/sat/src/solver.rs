@@ -58,6 +58,10 @@ pub struct Solver {
     cla_inc: f64,
     order: VarHeap,
     seen: Vec<bool>,
+    /// Per-variable assumed polarity of the current `solve_with` call
+    /// (`Undef` = not an assumption). Lets `analyze_final` test assumption
+    /// membership in O(1) instead of scanning the assumption slice.
+    assumption_mark: Vec<LBool>,
     /// False once a top-level conflict has been derived.
     ok: bool,
     model: Vec<LBool>,
@@ -104,6 +108,7 @@ impl Solver {
             cla_inc: 1.0,
             order: VarHeap::new(),
             seen: Vec::new(),
+            assumption_mark: Vec::new(),
             ok: true,
             model: Vec::new(),
             conflict_core: Vec::new(),
@@ -127,6 +132,7 @@ impl Solver {
         self.reason.push(None);
         self.activity.push(0.0);
         self.seen.push(false);
+        self.assumption_mark.push(LBool::Undef);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.insert(v, &self.activity);
@@ -577,15 +583,20 @@ impl Solver {
         }
     }
 
+    /// Is `l` one of the assumption literals of the active `solve_with`?
+    #[inline]
+    fn is_assumption(&self, l: Lit) -> bool {
+        self.assumption_mark[l.var().index()] == LBool::from_bool(l.is_positive())
+    }
+
     /// Collect the subset of assumptions responsible for falsifying `p`
     /// (a failed assumption) into `conflict_core`.
-    fn analyze_final(&mut self, p: Lit, assumptions: &[Lit]) {
+    fn analyze_final(&mut self, p: Lit) {
         self.conflict_core.clear();
         self.conflict_core.push(p);
         if self.decision_level() == 0 {
             return;
         }
-        let is_assumption = |l: Lit| assumptions.contains(&l);
         self.seen[p.var().index()] = true;
         for i in (self.trail_lim[0]..self.trail.len()).rev() {
             let l = self.trail[i];
@@ -595,7 +606,7 @@ impl Solver {
             }
             match self.reason[v.index()] {
                 None => {
-                    if is_assumption(l) {
+                    if self.is_assumption(l) {
                         self.conflict_core.push(!l);
                     }
                 }
@@ -617,6 +628,33 @@ impl Solver {
     /// Failed-assumption core from the last `Unsat` answer under assumptions.
     pub fn conflict_core(&self) -> &[Lit] {
         &self.conflict_core
+    }
+
+    /// Simplify the clause database against the level-0 assignment: delete
+    /// satisfied clauses, strip false literals, rebuild the watch lists.
+    /// Callable only between solves (decision level 0). Incremental clients
+    /// should call this after retiring an assumption guard with a unit
+    /// clause — the now-satisfied guarded clauses would otherwise stay on
+    /// the watch lists and tax every later propagation.
+    pub fn simplify(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0, "simplify runs between solves");
+        if !self.ok {
+            return;
+        }
+        // Level-0 reasons are never dereferenced again; drop them so no
+        // dangling ClauseRef survives deletion.
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var();
+            self.reason[v.index()] = None;
+        }
+        self.simplify_level0();
+        if !self.ok {
+            return;
+        }
+        self.rebuild_watches();
+        if self.propagate().is_some() {
+            self.ok = false;
+        }
     }
 
     /// Solve with no assumptions.
@@ -644,6 +682,19 @@ impl Solver {
         if budget.interrupted() || budget.clause_bytes_exhausted(self.clause_bytes) {
             return SolveResult::Unknown;
         }
+        for &a in assumptions {
+            self.assumption_mark[a.var().index()] = LBool::from_bool(a.is_positive());
+        }
+        let result = self.solve_loop(assumptions, budget);
+        for &a in assumptions {
+            self.assumption_mark[a.var().index()] = LBool::Undef;
+        }
+        result
+    }
+
+    /// Restart loop of `solve_with`; assumption marks are set on entry and
+    /// cleared by the caller on every exit path.
+    fn solve_loop(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveResult {
         let mut restarts = 0u64;
         loop {
             if self.reduce_pending {
@@ -728,7 +779,7 @@ impl Solver {
                     match self.value(a) {
                         LBool::True => self.trail_lim.push(self.trail.len()),
                         LBool::False => {
-                            self.analyze_final(!a, assumptions);
+                            self.analyze_final(!a);
                             return Some(SolveResult::Unsat);
                         }
                         LBool::Undef => {
@@ -855,6 +906,47 @@ mod tests {
         // The failed-assumption core names only relevant assumptions.
         assert_eq!(s.solve_with(&[v[0].pos(), v[1].neg()], &Budget::unlimited()), SolveResult::Unsat);
         assert!(!s.conflict_core().is_empty());
+    }
+
+    #[test]
+    fn assumption_marks_cleared_between_solves() {
+        // The per-var assumption marks must not leak across solve_with
+        // calls: a variable assumed in one call and not the next must not
+        // show up in the next call's failed-assumption core.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[v[0].neg(), v[1].pos()]);
+        s.add_clause(&[v[2].neg(), v[1].pos()]);
+        assert_eq!(
+            s.solve_with(&[v[0].pos(), v[1].neg()], &Budget::unlimited()),
+            SolveResult::Unsat
+        );
+        // Second call assumes v2 instead of v0; the core must mention only
+        // literals over the *current* assumption set.
+        assert_eq!(
+            s.solve_with(&[v[2].pos(), v[1].neg()], &Budget::unlimited()),
+            SolveResult::Unsat
+        );
+        for &l in s.conflict_core() {
+            assert_ne!(l.var(), v[0], "stale assumption mark leaked into the core");
+        }
+    }
+
+    #[test]
+    fn incremental_clause_addition_between_solves() {
+        // Clauses may be added at level 0 between solve_with calls; learned
+        // state and assignments must stay consistent.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[v[0].pos(), v[1].pos()]);
+        assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Sat);
+        assert!(s.add_clause(&[v[0].neg()]));
+        assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Sat);
+        assert!(s.model_value(v[1]));
+        assert!(s.add_clause(&[v[1].neg(), v[2].pos()]));
+        assert_eq!(s.solve_with(&[v[2].neg()], &Budget::unlimited()), SolveResult::Unsat);
+        assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Sat);
+        assert!(s.model_value(v[2]));
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! the same base array. The result is a pure QF_BV problem for the
 //! bit-blaster, plus enough bookkeeping to reconstruct array values in
 //! counterexample models.
+//!
+//! The pass is *incremental*: an [`IncrementalReducer`] keeps its rewrite
+//! cache, its read-variable memo and a per-array high-water mark of already
+//! emitted congruence pairs across calls, so a [`crate::SolveSession`]
+//! feeding it one obligation at a time pays only for the new reads — the
+//! quadratic pair closure extends monotonically instead of being recomputed
+//! per query.
 
 use crate::term::{Ctx, Op, TermId};
 use pug_sat::Budget;
@@ -25,7 +32,7 @@ use std::collections::HashMap;
 /// Transform steps between budget polls in the rewriting pass.
 const BUDGET_POLL_INTERVAL: u64 = 256;
 
-/// Result of array elimination.
+/// Result of one-shot array elimination.
 pub struct ArrayReduction {
     /// The rewritten, array-free assertions (Ackermann constraints included).
     pub assertions: Vec<TermId>,
@@ -35,6 +42,20 @@ pub struct ArrayReduction {
     /// True when the pass was cut short by the budget (deadline, cancel
     /// token or term-node cap). The assertions are then incomplete and the
     /// caller must answer `Unknown`.
+    pub interrupted: bool,
+}
+
+/// Result of one incremental [`IncrementalReducer::reduce`] call.
+pub struct ReduceDelta {
+    /// Rewritten (array-free) forms of the input assertions, in order.
+    pub assertions: Vec<TermId>,
+    /// Ackermann congruence constraints newly due for reads discovered by
+    /// this call. These are valid array axioms — a session may assert them
+    /// permanently even when the input assertions themselves are
+    /// retractable.
+    pub congruence: Vec<TermId>,
+    /// True when this call was cut short by the budget; the delta is then
+    /// incomplete and the caller must answer `Unknown`.
     pub interrupted: bool,
 }
 
@@ -52,54 +73,92 @@ pub fn reduce_arrays_budgeted(
     assertions: &[TermId],
     budget: &Budget,
 ) -> ArrayReduction {
-    let mut pass = Pass {
-        cache: HashMap::new(),
-        select_vars: HashMap::new(),
-        base_selects: HashMap::new(),
-        budget: budget.clone(),
-        steps: 0,
-        aborted: false,
-    };
-    let mut out: Vec<TermId> = assertions.iter().map(|&t| pass.transform(ctx, t)).collect();
-
-    // Ackermann congruence for every pair of reads of the same base array.
-    'pairs: for reads in pass.base_selects.values() {
-        for m in 0..reads.len() {
-            if pass.aborted || budget.interrupted() || budget.term_nodes_exhausted(ctx.num_terms())
-            {
-                pass.aborted = true;
-                break 'pairs;
-            }
-            for n in (m + 1)..reads.len() {
-                let (im, vm) = reads[m];
-                let (in_, vn) = reads[n];
-                let idx_eq = ctx.mk_eq(im, in_);
-                let val_eq = ctx.mk_eq(vm, vn);
-                let c = ctx.mk_implies(idx_eq, val_eq);
-                if ctx.const_bool(c) != Some(true) {
-                    out.push(c);
-                }
-            }
-        }
-    }
+    let mut pass = IncrementalReducer::new();
+    let delta = pass.reduce(ctx, assertions, budget);
+    let mut out = delta.assertions;
+    out.extend(delta.congruence);
     ArrayReduction {
         assertions: out,
         base_selects: pass.base_selects,
-        interrupted: pass.aborted,
+        interrupted: delta.interrupted,
     }
 }
 
-struct Pass {
+/// Persistent store-chain / Ackermann pass (see module docs).
+///
+/// An aborted call leaves the reducer in a *consistent* state: rewrite
+/// results are only cached when fully computed, and the congruence
+/// high-water mark only advances for arrays whose pair closure was emitted
+/// completely, so a later call under a fresh budget redoes exactly the
+/// unfinished work (re-emitted pairs hash-cons to the same terms and are
+/// harmless to re-assert).
+#[derive(Default)]
+pub struct IncrementalReducer {
     cache: HashMap<TermId, TermId>,
     /// Memo: (base array, index) → fresh value variable.
     select_vars: HashMap<(TermId, TermId), TermId>,
     base_selects: HashMap<TermId, Vec<(TermId, TermId)>>,
+    /// Per base array: number of leading reads in `base_selects` whose
+    /// congruence pairs (against every earlier read) were already emitted.
+    congruence_done: HashMap<TermId, usize>,
     budget: Budget,
     steps: u64,
     aborted: bool,
 }
 
-impl Pass {
+impl IncrementalReducer {
+    /// Fresh reducer with empty caches.
+    pub fn new() -> IncrementalReducer {
+        IncrementalReducer::default()
+    }
+
+    /// Whether the most recent `reduce` call was cut short by its budget.
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// All reads of base arrays discovered so far (for model reconstruction).
+    pub fn base_selects(&self) -> &HashMap<TermId, Vec<(TermId, TermId)>> {
+        &self.base_selects
+    }
+
+    /// Rewrite a batch of assertions, extending the persistent caches.
+    pub fn reduce(&mut self, ctx: &mut Ctx, assertions: &[TermId], budget: &Budget) -> ReduceDelta {
+        self.budget = budget.clone();
+        self.aborted = false;
+        let out: Vec<TermId> = assertions.iter().map(|&t| self.transform(ctx, t)).collect();
+
+        // Ackermann congruence: pair every read discovered by this call with
+        // every earlier read of the same base array (and with each other).
+        let mut congruence = Vec::new();
+        let arrays: Vec<TermId> = self.base_selects.keys().copied().collect();
+        'arrays: for array in arrays {
+            let done = self.congruence_done.get(&array).copied().unwrap_or(0);
+            let len = self.base_selects[&array].len();
+            for n in done..len {
+                if self.aborted
+                    || budget.interrupted()
+                    || budget.term_nodes_exhausted(ctx.num_terms())
+                {
+                    self.aborted = true;
+                    break 'arrays;
+                }
+                for m in 0..n {
+                    let (im, vm) = self.base_selects[&array][m];
+                    let (in_, vn) = self.base_selects[&array][n];
+                    let idx_eq = ctx.mk_eq(im, in_);
+                    let val_eq = ctx.mk_eq(vm, vn);
+                    let c = ctx.mk_implies(idx_eq, val_eq);
+                    if ctx.const_bool(c) != Some(true) {
+                        congruence.push(c);
+                    }
+                }
+            }
+            self.congruence_done.insert(array, len);
+        }
+        ReduceDelta { assertions: out, congruence, interrupted: self.aborted }
+    }
+
     fn transform(&mut self, ctx: &mut Ctx, t: TermId) -> TermId {
         if let Some(&r) = self.cache.get(&t) {
             return r;
@@ -111,8 +170,8 @@ impl Pass {
         if self.steps.is_multiple_of(BUDGET_POLL_INTERVAL)
             && (self.budget.interrupted() || self.budget.term_nodes_exhausted(ctx.num_terms()))
         {
-            // Collapse the recursion; partial rewrites stay cached but the
-            // reduction is flagged interrupted so the answer becomes Unknown.
+            // Collapse the recursion; the reduction is flagged interrupted so
+            // the answer becomes Unknown.
             self.aborted = true;
             return t;
         }
@@ -140,7 +199,12 @@ impl Pass {
                 }
             }
         };
-        self.cache.insert(t, result);
+        // Never memoize a result computed from an aborted (partially
+        // rewritten) subterm: the cache must stay poison-free so a later
+        // call under a fresh budget can redo the work correctly.
+        if !self.aborted {
+            self.cache.insert(t, result);
+        }
         result
     }
 
@@ -172,7 +236,15 @@ impl Pass {
                 let crate::sort::Sort::Array { elem, .. } = ctx.sort(array) else {
                     unreachable!("select base is not array-sorted");
                 };
-                let var = ctx.fresh_var("sel", crate::sort::Sort::BitVec(elem));
+                // Named by the (array, index) pair rather than gensym'd: the
+                // same read always maps to the same select var (Ackermann
+                // consistency across repeated reductions), and reducing does
+                // not bump the ctx-global fresh counter — so the names of
+                // *later* fresh vars, which do enter query fingerprints,
+                // stay identical across runs that issue different numbers of
+                // queries (e.g. FastBugHunt vs Prove sharing a query cache).
+                let name = format!("sel!{}!{}", array.index(), idx.index());
+                let var = ctx.mk_var(&name, crate::sort::Sort::BitVec(elem));
                 self.select_vars.insert((array, idx), var);
                 self.base_selects.entry(array).or_default().push((idx, var));
                 var
@@ -250,5 +322,31 @@ mod tests {
         let a = c.mk_eq(r1, r2); // trivially true
         let red = reduce_arrays(&mut c, &[a]);
         assert!(red.base_selects.get(&arr).is_none_or(|v| v.len() <= 1));
+    }
+
+    #[test]
+    fn incremental_congruence_extends_monotonically() {
+        let (mut c, arr, k) = setup();
+        let j = c.mk_var("j", Sort::BitVec(8));
+        let l = c.mk_var("l", Sort::BitVec(8));
+        let r1 = c.mk_select(arr, k);
+        let r2 = c.mk_select(arr, j);
+        let zero = c.mk_bv_const(0, 8);
+        let a1 = c.mk_eq(r1, zero);
+        let a2 = c.mk_eq(r2, zero);
+        let mut red = IncrementalReducer::new();
+        let d1 = red.reduce(&mut c, &[a1, a2], &Budget::unlimited());
+        // two reads → one pair
+        assert_eq!(d1.congruence.len(), 1);
+        // A third read later pairs only against the two earlier reads.
+        let r3 = c.mk_select(arr, l);
+        let a3 = c.mk_eq(r3, zero);
+        let d2 = red.reduce(&mut c, &[a3], &Budget::unlimited());
+        assert_eq!(d2.congruence.len(), 2);
+        assert_eq!(red.base_selects()[&arr].len(), 3);
+        // Re-reducing an already seen assertion adds nothing.
+        let d3 = red.reduce(&mut c, &[a1], &Budget::unlimited());
+        assert!(d3.congruence.is_empty());
+        assert_eq!(d3.assertions.len(), 1);
     }
 }

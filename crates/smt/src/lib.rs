@@ -37,6 +37,7 @@ pub mod arrays;
 pub mod bitblast;
 pub mod eval;
 pub mod model;
+pub mod session;
 pub mod smtlib;
 pub mod sort;
 pub mod term;
@@ -47,6 +48,7 @@ pub use eval::{Env, Value};
 pub use model::Model;
 pub use pug_sat::failpoints;
 pub use pug_sat::{Budget, CancelToken, ResourceBudget};
+pub use session::{assert_fingerprint, canonical_hash, SolveSession};
 pub use solver::{check, check_detailed, check_valid, CheckStats, SmtResult};
 pub use sort::Sort;
 pub use term::{Ctx, Op, TermId};

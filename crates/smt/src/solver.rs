@@ -48,8 +48,19 @@ pub struct CheckStats {
     pub cnf_clauses: usize,
     /// Assertions after array elimination (incl. Ackermann constraints).
     pub reduced_assertions: usize,
-    /// SAT-solver statistics.
+    /// SAT-solver statistics (per query, even inside a session).
     pub sat: pug_sat::Stats,
+    /// Time spent in array elimination for this query.
+    pub reduce_time: std::time::Duration,
+    /// Time spent bit-blasting for this query.
+    pub blast_time: std::time::Duration,
+    /// Time spent in CDCL search for this query.
+    pub solve_time: std::time::Duration,
+    /// Answer came from the cross-rung query cache — no solving at all.
+    pub cached: bool,
+    /// Clauses already in the solver when the query began (incremental
+    /// prefix + learned clauses inherited from earlier obligations).
+    pub clauses_reused: usize,
 }
 
 /// Decide satisfiability of the conjunction of `assertions`.
@@ -86,12 +97,15 @@ pub fn check_detailed(
 
     // Rewriting can blow up the term DAG (store chains, Ackermann pairs)
     // before any CNF exists, so it runs under the same budget.
+    let t0 = std::time::Instant::now();
     let reduction = reduce_arrays_budgeted(ctx, &live, budget);
+    stats.reduce_time = t0.elapsed();
     stats.reduced_assertions = reduction.assertions.len();
     if reduction.interrupted {
         return (SmtResult::Unknown, stats);
     }
 
+    let t1 = std::time::Instant::now();
     let mut sat = Solver::new();
     let mut blaster = BitBlaster::new(&mut sat);
     blaster.set_budget(budget);
@@ -102,6 +116,7 @@ pub fn check_detailed(
             None => blaster.assert_term(ctx, &mut sat, a),
         }
     }
+    stats.blast_time = t1.elapsed();
     stats.cnf_vars = sat.num_vars();
     stats.cnf_clauses = sat.num_clauses();
     if blaster.aborted() {
@@ -109,13 +124,22 @@ pub fn check_detailed(
         return (SmtResult::Unknown, stats);
     }
 
+    let t2 = std::time::Instant::now();
     let result = sat.solve(budget);
+    stats.solve_time = t2.elapsed();
     stats.sat = sat.stats();
     let r = match result {
         SolveResult::Unsat => SmtResult::Unsat,
         SolveResult::Unknown => SmtResult::Unknown,
         SolveResult::Sat => {
-            let model = build_model(ctx, &live, &reduction, &blaster, &sat);
+            let model = build_model(
+                ctx,
+                &live,
+                &reduction.assertions,
+                &reduction.base_selects,
+                &blaster,
+                &sat,
+            );
             #[cfg(debug_assertions)]
             for &a in &live {
                 debug_assert!(
@@ -130,10 +154,11 @@ pub fn check_detailed(
     (r, stats)
 }
 
-fn build_model(
+pub(crate) fn build_model(
     ctx: &Ctx,
     original: &[TermId],
-    reduction: &crate::arrays::ArrayReduction,
+    reduced: &[TermId],
+    base_selects: &std::collections::HashMap<TermId, Vec<(TermId, TermId)>>,
     blaster: &BitBlaster,
     sat: &Solver,
 ) -> Model {
@@ -143,13 +168,13 @@ fn build_model(
     // scalar free in the original assertions (possibly simplified away —
     // those are unconstrained and default to zero).
     let mut scalars: Vec<TermId> = Vec::new();
-    for &a in &reduction.assertions {
+    for &a in reduced {
         scalars.extend(ctx.free_vars(a));
     }
     for &a in original {
         scalars.extend(ctx.free_vars(a));
     }
-    for reads in reduction.base_selects.values() {
+    for reads in base_selects.values() {
         for &(idx, val) in reads {
             scalars.extend(ctx.free_vars(idx));
             scalars.push(val);
@@ -170,7 +195,7 @@ fn build_model(
     }
 
     // Array variables: reconstruct entries from the Ackermann reads.
-    for (&arr, reads) in &reduction.base_selects {
+    for (&arr, reads) in base_selects {
         let Sort::Array { index, elem } = ctx.sort(arr) else { unreachable!() };
         let mut entries = std::collections::HashMap::new();
         for &(idx, val) in reads {
@@ -196,8 +221,7 @@ fn build_model(
 
     // Drop internal fresh select variables from the reported model: they are
     // folded into the array interpretations.
-    let internal: std::collections::HashSet<TermId> = reduction
-        .base_selects
+    let internal: std::collections::HashSet<TermId> = base_selects
         .values()
         .flat_map(|reads| reads.iter().map(|&(_, val)| val))
         .collect();

@@ -10,6 +10,7 @@
 
 use crate::sort::{mask, to_signed, truncate, Sort};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// Identifier of a term inside a [`Ctx`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -86,11 +87,50 @@ pub struct Node {
 #[derive(Default)]
 pub struct Ctx {
     nodes: Vec<Node>,
-    table: HashMap<(Op, Vec<TermId>), TermId>,
+    /// Hash-cons table keyed by a structural hash of `(op, args)`; each
+    /// bucket holds the (almost always ≤ 1) terms with that hash. Keying by
+    /// hash instead of by `(Op, Vec<TermId>)` means a lookup never clones
+    /// the operator or allocates an argument vector: the hit path is
+    /// allocation-free.
+    table: HashMap<u64, Vec<TermId>>,
     sym_names: Vec<String>,
     sym_table: HashMap<String, SymbolId>,
     var_sorts: HashMap<SymbolId, Sort>,
     fresh_counter: u64,
+}
+
+/// FNV-1a, used for the hash-cons key. The keys are tiny (an operator plus
+/// at most three term ids), so a short multiply-xor loop beats SipHash.
+struct FnvHasher(u64);
+
+impl FnvHasher {
+    fn new() -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+fn node_hash(op: &Op, args: &[TermId]) -> u64 {
+    let mut h = FnvHasher::new();
+    op.hash(&mut h);
+    for &a in args {
+        h.write_u32(a.0);
+    }
+    h.finish()
 }
 
 impl Ctx {
@@ -149,14 +189,18 @@ impl Ctx {
         s
     }
 
-    fn hashcons(&mut self, op: Op, args: Vec<TermId>, sort: Sort) -> TermId {
-        let key = (op, args);
-        if let Some(&t) = self.table.get(&key) {
-            return t;
+    fn hashcons(&mut self, op: Op, args: &[TermId], sort: Sort) -> TermId {
+        let h = node_hash(&op, args);
+        let bucket = self.table.entry(h).or_default();
+        for &t in bucket.iter() {
+            let n = &self.nodes[t.index()];
+            if n.op == op && n.args == args {
+                return t;
+            }
         }
         let t = TermId(self.nodes.len() as u32);
-        self.nodes.push(Node { op: key.0.clone(), args: key.1.clone(), sort });
-        self.table.insert(key, t);
+        bucket.push(t);
+        self.nodes.push(Node { op, args: args.to_vec(), sort });
         t
     }
 
@@ -165,7 +209,7 @@ impl Ctx {
     /// Boolean constant.
     pub fn mk_bool(&mut self, b: bool) -> TermId {
         let op = if b { Op::True } else { Op::False };
-        self.hashcons(op, vec![], Sort::Bool)
+        self.hashcons(op, &[], Sort::Bool)
     }
 
     /// `true`.
@@ -182,7 +226,7 @@ impl Ctx {
     pub fn mk_bv_const(&mut self, value: u64, width: u32) -> TermId {
         assert!((1..=64).contains(&width), "unsupported width {width}");
         let value = truncate(value, width);
-        self.hashcons(Op::BvConst { value, width }, vec![], Sort::BitVec(width))
+        self.hashcons(Op::BvConst { value, width }, &[], Sort::BitVec(width))
     }
 
     /// Free variable. Re-declaring the same name must use the same sort.
@@ -198,7 +242,7 @@ impl Ctx {
                 self.var_sorts.insert(s, sort);
             }
         }
-        self.hashcons(Op::Var { name: s }, vec![], sort)
+        self.hashcons(Op::Var { name: s }, &[], sort)
     }
 
     /// Fresh variable with a unique generated name based on `prefix`.
@@ -234,7 +278,7 @@ impl Ctx {
             Op::True => self.mk_false(),
             Op::False => self.mk_true(),
             Op::Not => self.args(a)[0],
-            _ => self.hashcons(Op::Not, vec![a], Sort::Bool),
+            _ => self.hashcons(Op::Not, &[a], Sort::Bool),
         }
     }
 
@@ -254,7 +298,7 @@ impl Ctx {
             return self.mk_false();
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.hashcons(Op::And, vec![a, b], Sort::Bool)
+        self.hashcons(Op::And, &[a, b], Sort::Bool)
     }
 
     /// Conjunction of many terms.
@@ -282,7 +326,7 @@ impl Ctx {
             return self.mk_true();
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.hashcons(Op::Or, vec![a, b], Sort::Bool)
+        self.hashcons(Op::Or, &[a, b], Sort::Bool)
     }
 
     /// Disjunction of many terms.
@@ -308,7 +352,7 @@ impl Ctx {
             return self.mk_false();
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.hashcons(Op::Xor, vec![a, b], Sort::Bool)
+        self.hashcons(Op::Xor, &[a, b], Sort::Bool)
     }
 
     /// Implication `a ⇒ b`, rewritten to `¬a ∨ b`.
@@ -355,7 +399,7 @@ impl Ctx {
                 _ => {}
             }
         }
-        self.hashcons(Op::Ite, vec![c, t, e], st)
+        self.hashcons(Op::Ite, &[c, t, e], st)
     }
 
     /// Equality on Bool or BitVec terms.
@@ -384,7 +428,7 @@ impl Ctx {
             }
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.hashcons(Op::Eq, vec![a, b], Sort::Bool)
+        self.hashcons(Op::Eq, &[a, b], Sort::Bool)
     }
 
     /// Disequality.
@@ -412,7 +456,7 @@ impl Ctx {
             _ => {}
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.hashcons(Op::BvAdd, vec![a, b], Sort::BitVec(w))
+        self.hashcons(Op::BvAdd, &[a, b], Sort::BitVec(w))
     }
 
     /// Subtraction modulo 2^w.
@@ -426,7 +470,7 @@ impl Ctx {
             (_, Some(0)) => return a,
             _ => {}
         }
-        self.hashcons(Op::BvSub, vec![a, b], Sort::BitVec(w))
+        self.hashcons(Op::BvSub, &[a, b], Sort::BitVec(w))
     }
 
     /// Two's-complement negation.
@@ -435,7 +479,7 @@ impl Ctx {
         if let Some(x) = self.const_bv(a) {
             return self.mk_bv_const(x.wrapping_neg(), w);
         }
-        self.hashcons(Op::BvNeg, vec![a], Sort::BitVec(w))
+        self.hashcons(Op::BvNeg, &[a], Sort::BitVec(w))
     }
 
     /// Multiplication modulo 2^w. Constant power-of-two factors are reduced
@@ -460,7 +504,7 @@ impl Ctx {
             _ => {}
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.hashcons(Op::BvMul, vec![a, b], Sort::BitVec(w))
+        self.hashcons(Op::BvMul, &[a, b], Sort::BitVec(w))
     }
 
     /// Unsigned division; division by zero yields all-ones (SMT-LIB).
@@ -478,7 +522,7 @@ impl Ctx {
             }
             _ => {}
         }
-        self.hashcons(Op::BvUdiv, vec![a, b], Sort::BitVec(w))
+        self.hashcons(Op::BvUdiv, &[a, b], Sort::BitVec(w))
     }
 
     /// Unsigned remainder; remainder by zero yields the dividend (SMT-LIB).
@@ -496,7 +540,7 @@ impl Ctx {
             }
             _ => {}
         }
-        self.hashcons(Op::BvUrem, vec![a, b], Sort::BitVec(w))
+        self.hashcons(Op::BvUrem, &[a, b], Sort::BitVec(w))
     }
 
     /// Bitwise and.
@@ -513,7 +557,7 @@ impl Ctx {
             _ => {}
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.hashcons(Op::BvAnd, vec![a, b], Sort::BitVec(w))
+        self.hashcons(Op::BvAnd, &[a, b], Sort::BitVec(w))
     }
 
     /// Bitwise or.
@@ -530,7 +574,7 @@ impl Ctx {
             _ => {}
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.hashcons(Op::BvOr, vec![a, b], Sort::BitVec(w))
+        self.hashcons(Op::BvOr, &[a, b], Sort::BitVec(w))
     }
 
     /// Bitwise xor.
@@ -546,7 +590,7 @@ impl Ctx {
             _ => {}
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.hashcons(Op::BvXor, vec![a, b], Sort::BitVec(w))
+        self.hashcons(Op::BvXor, &[a, b], Sort::BitVec(w))
     }
 
     /// Bitwise complement.
@@ -558,7 +602,7 @@ impl Ctx {
         if matches!(self.op(a), Op::BvNot) {
             return self.args(a)[0];
         }
-        self.hashcons(Op::BvNot, vec![a], Sort::BitVec(w))
+        self.hashcons(Op::BvNot, &[a], Sort::BitVec(w))
     }
 
     /// Left shift; shifting by ≥ w yields zero.
@@ -574,7 +618,7 @@ impl Ctx {
             (_, Some(y)) if y >= w as u64 => return self.mk_bv_const(0, w),
             _ => {}
         }
-        self.hashcons(Op::BvShl, vec![a, b], Sort::BitVec(w))
+        self.hashcons(Op::BvShl, &[a, b], Sort::BitVec(w))
     }
 
     /// Logical right shift; shifting by ≥ w yields zero.
@@ -590,7 +634,7 @@ impl Ctx {
             (_, Some(y)) if y >= w as u64 => return self.mk_bv_const(0, w),
             _ => {}
         }
-        self.hashcons(Op::BvLshr, vec![a, b], Sort::BitVec(w))
+        self.hashcons(Op::BvLshr, &[a, b], Sort::BitVec(w))
     }
 
     /// Arithmetic right shift; shifting by ≥ w yields the sign fill.
@@ -606,7 +650,7 @@ impl Ctx {
             (Some(0), _) => return a,
             _ => {}
         }
-        self.hashcons(Op::BvAshr, vec![a, b], Sort::BitVec(w))
+        self.hashcons(Op::BvAshr, &[a, b], Sort::BitVec(w))
     }
 
     /// Unsigned less-than.
@@ -621,7 +665,7 @@ impl Ctx {
             (Some(m), _) if m == mask(w) => return self.mk_false(),
             _ => {}
         }
-        self.hashcons(Op::BvUlt, vec![a, b], Sort::Bool)
+        self.hashcons(Op::BvUlt, &[a, b], Sort::Bool)
     }
 
     /// Unsigned less-or-equal.
@@ -636,7 +680,7 @@ impl Ctx {
             (_, Some(m)) if m == mask(w) => return self.mk_true(),
             _ => {}
         }
-        self.hashcons(Op::BvUle, vec![a, b], Sort::Bool)
+        self.hashcons(Op::BvUle, &[a, b], Sort::Bool)
     }
 
     /// Signed less-than.
@@ -648,7 +692,7 @@ impl Ctx {
         if let (Some(x), Some(y)) = (self.const_bv(a), self.const_bv(b)) {
             return self.mk_bool(to_signed(x, w) < to_signed(y, w));
         }
-        self.hashcons(Op::BvSlt, vec![a, b], Sort::Bool)
+        self.hashcons(Op::BvSlt, &[a, b], Sort::Bool)
     }
 
     /// Signed less-or-equal.
@@ -660,7 +704,7 @@ impl Ctx {
         if let (Some(x), Some(y)) = (self.const_bv(a), self.const_bv(b)) {
             return self.mk_bool(to_signed(x, w) <= to_signed(y, w));
         }
-        self.hashcons(Op::BvSle, vec![a, b], Sort::Bool)
+        self.hashcons(Op::BvSle, &[a, b], Sort::Bool)
     }
 
     /// Unsigned greater-than (sugar).
@@ -683,7 +727,7 @@ impl Ctx {
         if let Some(x) = self.const_bv(a) {
             return self.mk_bv_const(x, w + by);
         }
-        self.hashcons(Op::ZeroExt { by }, vec![a], Sort::BitVec(w + by))
+        self.hashcons(Op::ZeroExt { by }, &[a], Sort::BitVec(w + by))
     }
 
     /// Sign extension by `by` bits.
@@ -696,7 +740,7 @@ impl Ctx {
         if let Some(x) = self.const_bv(a) {
             return self.mk_bv_const(to_signed(x, w) as u64, w + by);
         }
-        self.hashcons(Op::SignExt { by }, vec![a], Sort::BitVec(w + by))
+        self.hashcons(Op::SignExt { by }, &[a], Sort::BitVec(w + by))
     }
 
     /// Bit extraction `a[hi:lo]`, inclusive on both ends.
@@ -711,7 +755,7 @@ impl Ctx {
         if let Some(x) = self.const_bv(a) {
             return self.mk_bv_const(x >> lo, nw);
         }
-        self.hashcons(Op::Extract { hi, lo }, vec![a], Sort::BitVec(nw))
+        self.hashcons(Op::Extract { hi, lo }, &[a], Sort::BitVec(nw))
     }
 
     /// Concatenation; `a` supplies the high bits.
@@ -721,7 +765,7 @@ impl Ctx {
         if let (Some(x), Some(y)) = (self.const_bv(a), self.const_bv(b)) {
             return self.mk_bv_const(x << wb | y, wa + wb);
         }
-        self.hashcons(Op::Concat, vec![a, b], Sort::BitVec(wa + wb))
+        self.hashcons(Op::Concat, &[a, b], Sort::BitVec(wa + wb))
     }
 
     // ---------------------------------------------------------------- arrays
@@ -750,7 +794,7 @@ impl Ctx {
                 }
             }
         }
-        self.hashcons(Op::Select, vec![array, index], Sort::BitVec(elem))
+        self.hashcons(Op::Select, &[array, index], Sort::BitVec(elem))
     }
 
     /// Array write.
@@ -761,7 +805,7 @@ impl Ctx {
         };
         assert_eq!(self.width(index), iw, "index width mismatch");
         assert_eq!(self.width(value), elem, "value width mismatch");
-        self.hashcons(Op::Store, vec![array, index, value], sort)
+        self.hashcons(Op::Store, &[array, index, value], sort)
     }
 
     // ------------------------------------------------------------- utilities
