@@ -30,6 +30,11 @@ run_suite "fault-injection smoke (portfolio)" \
 run_suite "incremental perf smoke" \
   cargo run --release -p pug-bench --bin repro-tables -- \
     --bench-json /tmp/bench_pr4_ci.json --quick --timeout 60
+# Observability smoke: one fully traced equivalence check; the JSONL export
+# is re-parsed and the span tree structurally validated (balanced opens and
+# closes, strictly increasing sequence). Non-zero exit on a broken trace.
+run_suite "trace smoke" \
+  cargo run --release -p pug-bench --bin repro-tables -- --trace /tmp/pug_trace_ci.jsonl
 
 echo
 echo "== wall-clock summary"

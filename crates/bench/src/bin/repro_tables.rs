@@ -20,6 +20,8 @@ struct Args {
     fault_injection: bool,
     portfolio: bool,
     bench_json: Option<String>,
+    trace: Option<String>,
+    explain: bool,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +32,8 @@ fn parse_args() -> Args {
         fault_injection: false,
         portfolio: false,
         bench_json: None,
+        trace: None,
+        explain: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -46,6 +50,8 @@ fn parse_args() -> Args {
             "--bench-json" => {
                 args.bench_json = Some(it.next().unwrap_or_else(|| usage("missing path")))
             }
+            "--trace" => args.trace = Some(it.next().unwrap_or_else(|| usage("missing path"))),
+            "--explain" => args.explain = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -59,7 +65,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro-tables [--table 2|3|scaling|all] [--timeout SECS] [--quick] \
-         [--fault-injection] [--portfolio] [--bench-json PATH]"
+         [--fault-injection] [--portfolio] [--bench-json PATH] [--trace PATH] [--explain]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -123,6 +129,23 @@ fn fault_injection_smoke(timeout: Duration) {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.trace {
+        // Trace smoke: one fully traced verification, JSONL export,
+        // re-parse, structural validation. CI fails on a broken trace.
+        match pug_bench::trace_smoke(path) {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => {
+                eprintln!("trace smoke: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if args.explain {
+        // Verdict narratives for the racing grid's corpus pairs.
+        print!("{}", pug_bench::explain_rows(args.quick));
+        return;
+    }
     if let Some(path) = &args.bench_json {
         // Incremental-vs-one-shot grid: per-stage timings + cache stats as
         // JSON; verdict divergence between the two solving modes is a

@@ -23,16 +23,18 @@ use pugpara::runner::{run_resilient, ResilientReport, RunnerOptions};
 use pugpara::{KernelUnit, Soundness, Verdict};
 use std::time::{Duration, Instant};
 
-/// One kernel pair of the comparison grid, with its ladder policy.
-struct GridPair {
-    name: &'static str,
-    src: KernelUnit,
-    tgt: KernelUnit,
-    cfg: GpuConfig,
-    opts: RunnerOptions,
+/// One kernel pair of the comparison grid, with its ladder policy. Shared
+/// with the observability harness (`observe`), which explains and traces
+/// the same corpus the racing comparison runs.
+pub(crate) struct GridPair {
+    pub(crate) name: &'static str,
+    pub(crate) src: KernelUnit,
+    pub(crate) tgt: KernelUnit,
+    pub(crate) cfg: GpuConfig,
+    pub(crate) opts: RunnerOptions,
     /// Equivalence rows are the speedup target; bug rows only have to
     /// agree on the verdict.
-    equivalence: bool,
+    pub(crate) equivalence: bool,
 }
 
 /// One finished comparison row.
@@ -75,7 +77,7 @@ pub fn verdict_label(r: &ResilientReport) -> String {
 /// per-rung deadline the sequential ladder burns `2 × rung_timeout`
 /// before NonParam(4) answers — racing overlaps both waits. The remaining
 /// rows answer on the first rung and pin the ratio floor near 1.
-fn grid(quick: bool) -> Vec<GridPair> {
+pub(crate) fn grid(quick: bool) -> Vec<GridPair> {
     let load = |s: &str| KernelUnit::load(s).expect("bundled kernel loads");
     let hard = |timeout_secs: u64| RunnerOptions {
         rung_timeout: Some(Duration::from_secs(timeout_secs)),

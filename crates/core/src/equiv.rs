@@ -34,6 +34,7 @@ use pug_ir::{
     Segment,
 };
 use crate::portfolio::QueryCache;
+use pug_obs::{MetricsRegistry, TraceSpan};
 use pug_smt::{
     assert_fingerprint, check_detailed, Budget, CancelToken, CheckStats, Ctx, Op, SmtResult,
     SolveSession, Sort, TermId,
@@ -80,6 +81,13 @@ pub struct CheckOptions {
     /// Cross-rung cache of discharged obligations, shared by the portfolio
     /// scheduler; `None` disables caching.
     pub query_cache: Option<QueryCache>,
+    /// Parent trace span: every query/segment span of this check opens
+    /// under it. [`TraceSpan::disabled`] (the default) records nothing and
+    /// costs one branch per query.
+    pub trace: TraceSpan,
+    /// Metrics registry fed by the check's queries (solver counters, cache
+    /// hits, CA instantiations). Disabled by default.
+    pub metrics: MetricsRegistry,
 }
 
 impl Default for CheckOptions {
@@ -94,6 +102,8 @@ impl Default for CheckOptions {
             max_term_nodes: None,
             incremental: true,
             query_cache: None,
+            trace: TraceSpan::disabled(),
+            metrics: MetricsRegistry::disabled(),
         }
     }
 }
@@ -131,6 +141,18 @@ impl CheckOptions {
     /// Attach a cross-rung query cache.
     pub fn with_query_cache(mut self, cache: QueryCache) -> CheckOptions {
         self.query_cache = Some(cache);
+        self
+    }
+
+    /// Record this check's spans under `parent`.
+    pub fn with_trace(mut self, parent: TraceSpan) -> CheckOptions {
+        self.trace = parent;
+        self
+    }
+
+    /// Feed solver/cache/CA counters into `metrics`.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> CheckOptions {
+        self.metrics = metrics;
         self
     }
 }
@@ -182,6 +204,12 @@ pub(crate) struct Session {
     /// Memo for canonical fingerprints (the term DAG is append-only, so
     /// entries never go stale).
     canon_memo: HashMap<TermId, u128>,
+    /// The check's root trace position plus the currently-open segment
+    /// spans; queries open under the innermost. Leftover spans are closed
+    /// on drop so traces stay balanced across early returns and errors.
+    trace: TraceSpan,
+    seg_stack: Vec<TraceSpan>,
+    metrics: MetricsRegistry,
 }
 
 /// Internal control flow: `Some` means stop with this verdict.
@@ -192,8 +220,8 @@ impl Session {
         self.mode
     }
 
-    pub(crate) fn into_report(self, verdict: Verdict, started: Instant) -> Report {
-        Report::new(verdict, self.queries, started)
+    pub(crate) fn take_report(&mut self, verdict: Verdict, started: Instant) -> Report {
+        Report::new(verdict, std::mem::take(&mut self.queries), started)
     }
 
     pub(crate) fn take_queries(&mut self) -> Vec<QueryStat> {
@@ -232,6 +260,68 @@ impl Session {
             incremental: opts.incremental,
             cache: opts.query_cache.clone(),
             canon_memo: HashMap::new(),
+            trace: opts.trace.clone(),
+            seg_stack: Vec::new(),
+            metrics: opts.metrics.clone(),
+        }
+    }
+
+    /// The innermost open span (segment scope or the check root).
+    fn current_span(&self) -> &TraceSpan {
+        self.seg_stack.last().unwrap_or(&self.trace)
+    }
+
+    /// Open a named segment scope (e.g. `bi:2`); later queries nest under
+    /// it until [`Session::exit_seg`]. Scopes left open by an early return
+    /// or an error are closed when the session drops.
+    pub(crate) fn enter_seg(&mut self, name: &str) {
+        if self.trace.is_enabled() {
+            let child = self.current_span().child(name);
+            self.seg_stack.push(child);
+        }
+    }
+
+    /// Close the innermost segment scope.
+    pub(crate) fn exit_seg(&mut self) {
+        if let Some(span) = self.seg_stack.pop() {
+            span.close();
+        }
+    }
+
+    /// Record a CA-chain resolution for an output array: how many
+    /// conditional-assignment instantiations each side contributed and how
+    /// many read obligations they induced (paper §IV, Fig. 2).
+    pub(crate) fn note_ca_chain(&mut self, array: &str, insts_s: usize, insts_t: usize, obligations: usize) {
+        if self.metrics.is_enabled() {
+            self.metrics.add("resolve.ca_instantiations", (insts_s + insts_t) as u64);
+            self.metrics.add("resolve.read_obligations", obligations as u64);
+        }
+        if self.trace.is_enabled() {
+            self.current_span().point(
+                &format!("ca-chain[{array}]"),
+                vec![
+                    ("insts_s", insts_s.into()),
+                    ("insts_t", insts_t.into()),
+                    ("obligations", obligations.into()),
+                ],
+            );
+        }
+    }
+
+    /// A coverage obligation was discharged by a ∀-elimination witness.
+    pub(crate) fn note_qelim_witnessed(&mut self) {
+        self.metrics.incr("qelim.witnessed");
+    }
+
+    /// No witness shape applied: the obligation was dropped and the proof
+    /// downgraded to under-approximate.
+    pub(crate) fn note_qelim_dropped(&mut self, array: &str) {
+        self.metrics.incr("qelim.dropped");
+        if self.trace.is_enabled() {
+            self.current_span().point(
+                &format!("qelim-drop[{array}]"),
+                vec![("effect", "soundness downgraded to under-approximate".into())],
+            );
         }
     }
 
@@ -247,6 +337,7 @@ impl Session {
         if !self.incremental {
             return;
         }
+        self.metrics.incr("smt.epochs");
         self.solve = SolveSession::new();
         self.committed.clear();
     }
@@ -294,6 +385,13 @@ impl Session {
     /// consulted on the full concretized assert set before any solving.
     pub(crate) fn query(&mut self, label: &str, premises: &[TermId], goal: TermId) -> SmtResult {
         let started = Instant::now();
+        // Span guard: closes on drop, so a panic unwinding through the
+        // solver (into the rung's `catch_unwind`) still balances the trace.
+        let qspan = if self.trace.is_enabled() {
+            Some(self.current_span().child_guard(&format!("query:{label}")))
+        } else {
+            None
+        };
         let mut asserts: Vec<TermId> = Vec::with_capacity(premises.len() + 1);
         let mut delta: Vec<TermId> = Vec::new();
         for &p in premises {
@@ -318,11 +416,20 @@ impl Session {
         };
         if let (Some(cache), Some(f)) = (&self.cache, fp) {
             if cache.lookup_unsat(f) {
+                let duration = started.elapsed();
+                let stats = CheckStats { cached: true, ..CheckStats::default() };
+                if let Some(g) = qspan {
+                    g.finish(vec![
+                        ("outcome", "valid (cached)".into()),
+                        ("us", (duration.as_micros() as u64).into()),
+                    ]);
+                }
+                self.observe_query("valid (cached)", duration, &stats);
                 self.queries.push(QueryStat {
                     label: label.to_string(),
                     outcome: "valid (cached)".into(),
-                    duration: started.elapsed(),
-                    stats: CheckStats { cached: true, ..CheckStats::default() },
+                    duration,
+                    stats,
                 });
                 return SmtResult::Unsat;
             }
@@ -338,17 +445,69 @@ impl Session {
                 cache.record_unsat(f);
             }
         }
+        let outcome = match &r {
+            SmtResult::Unsat => "valid",
+            SmtResult::Sat(_) => "counterexample",
+            SmtResult::Unknown => "timeout",
+        };
+        let duration = started.elapsed();
+        if let Some(g) = qspan {
+            g.finish(vec![
+                ("outcome", outcome.into()),
+                ("us", (duration.as_micros() as u64).into()),
+                ("conflicts", stats.sat.conflicts.into()),
+                ("cnf_clauses", stats.cnf_clauses.into()),
+            ]);
+        }
+        self.observe_query(outcome, duration, &stats);
         self.queries.push(QueryStat {
             label: label.to_string(),
-            outcome: match &r {
-                SmtResult::Unsat => "valid".into(),
-                SmtResult::Sat(_) => "counterexample".into(),
-                SmtResult::Unknown => "timeout".into(),
-            },
-            duration: started.elapsed(),
+            outcome: outcome.into(),
+            duration,
             stats,
         });
         r
+    }
+
+    /// Feed one query's statistics into the metrics registry.
+    fn observe_query(&self, outcome: &str, duration: Duration, stats: &CheckStats) {
+        let m = &self.metrics;
+        if !m.is_enabled() {
+            return;
+        }
+        m.incr("queries.total");
+        match outcome {
+            "valid (cached)" => {
+                m.incr("queries.cached");
+                m.incr("queries.valid");
+            }
+            "valid" => m.incr("queries.valid"),
+            "counterexample" => m.incr("queries.counterexample"),
+            _ => m.incr("queries.timeout"),
+        }
+        m.observe("query_us", duration);
+        m.observe("solve_us", stats.solve_time);
+        m.add("sat.conflicts", stats.sat.conflicts);
+        m.add("sat.propagations", stats.sat.propagations);
+        m.add("sat.decisions", stats.sat.decisions);
+        m.add("sat.restarts", stats.sat.restarts);
+        m.add("sat.learnt_clauses", stats.sat.learnt_clauses);
+        m.add("smt.reduced_assertions", stats.reduced_assertions as u64);
+        m.add("smt.clauses_reused", stats.clauses_reused as u64);
+        m.add("smt.ack_selects", stats.ack_selects as u64);
+        m.set_gauge("smt.cnf_vars", stats.cnf_vars as u64);
+        m.set_gauge("smt.cnf_clauses", stats.cnf_clauses as u64);
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Close any segment scopes left open by an early return (a bug
+        // verdict mid-segment) or an error; the sink's structural validator
+        // requires every span to close exactly once.
+        while let Some(span) = self.seg_stack.pop() {
+            span.close();
+        }
     }
 }
 
@@ -401,7 +560,7 @@ pub fn check_equivalence_nonparam(
             &sess.ctx,
         )),
     };
-    Ok(Report::new(verdict, sess.queries, started))
+    Ok(sess.take_report(verdict, started))
 }
 
 // ---------------------------------------------------------------------------
@@ -433,7 +592,7 @@ pub fn check_equivalence_param(
         Some(v) => v,
         None => Verdict::Verified(sess.soundness),
     };
-    Ok(Report::new(verdict, sess.queries, started))
+    Ok(sess.take_report(verdict, started))
 }
 
 fn whole_kernel_equiv(
@@ -522,6 +681,7 @@ fn compare_regions(
         let mut prem_t = prem_t;
         prem_s.push(observer_range);
         prem_t.push(observer_range);
+        sess.note_ca_chain(array, out_s.insts.len(), out_t.insts.len(), obs_s.len() + obs_t.len());
 
         // ---- value query: co-covered cells get equal values ----
         if !out_s.insts.is_empty() && !out_t.insts.is_empty() {
@@ -777,7 +937,10 @@ fn coverage_direction(
             premises.extend(from_prem.iter().copied());
             premises.push(inst.cond);
             match sess.query(&format!("coverage[{kind:?}]"), &premises, cover_w) {
-                SmtResult::Unsat => continue 'insts,
+                SmtResult::Unsat => {
+                    sess.note_qelim_witnessed();
+                    continue 'insts;
+                }
                 SmtResult::Unknown => return Ok(DirectionOutcome::Timeout),
                 SmtResult::Sat(m) => last_model = Some(m),
             }
@@ -815,7 +978,10 @@ fn obligation_check(
         premises.extend(resolver_prem.iter().copied());
         premises.push(ob.guard);
         match sess.query(&format!("read-coverage[{}:{kind:?}]", ob.array), &premises, cover_w) {
-            SmtResult::Unsat => return Ok(DirectionOutcome::Proven),
+            SmtResult::Unsat => {
+                sess.note_qelim_witnessed();
+                return Ok(DirectionOutcome::Proven);
+            }
             SmtResult::Unknown => return Ok(DirectionOutcome::Timeout),
             SmtResult::Sat(m) => last_model = Some(m),
         }
@@ -825,6 +991,7 @@ fn obligation_check(
         // No applicable witness shape: the obligation is unverified but
         // there is no evidence of a bug — downgrade soundness instead.
         None => {
+            sess.note_qelim_dropped(&ob.array);
             sess.soundness = Soundness::UnderApprox;
             Ok(DirectionOutcome::Proven)
         }
@@ -909,6 +1076,7 @@ fn lockstep_equiv(
         // this segment's region premises again, so carrying their gate
         // clauses forward would only tax every later propagation.
         sess.begin_epoch();
+        sess.enter_seg(&format!("bi:{i}"));
         // Segment-entry state: shared between the two kernels (the
         // inductive hypothesis). Kernel-entry shared memory stays
         // uninitialized per kernel.
@@ -1062,6 +1230,7 @@ fn lockstep_equiv(
                 })
             }
         }
+        sess.exit_seg();
     }
     Ok(None)
 }

@@ -52,6 +52,7 @@
 pub mod capabilities;
 pub mod equiv;
 pub mod error;
+pub mod explain;
 pub mod kernel;
 pub mod nonparam;
 pub mod param;
@@ -69,6 +70,7 @@ pub use equiv::{
     check_equivalence_nonparam, check_equivalence_param, CheckOptions, Mode, QueryStat, Report,
 };
 pub use error::Error;
+pub use explain::{explain_report, explain_with, ExplainOptions};
 pub use kernel::KernelUnit;
 pub use perf::{check_bank_conflicts, check_coalescing, PerfReport};
 pub use portfolio::{run_portfolio, verify_all, PortfolioOptions, QueryCache, VerifyTask, WorkerPool};
@@ -76,7 +78,7 @@ pub use postcond::{check_postcondition_nonparam, check_postcondition_param};
 pub use pug_smt::failpoints;
 pub use race::check_races;
 pub use runner::{
-    run_resilient, Provenance, ResilientReport, Rung, RungOutcome, RungRecord, RunnerOptions,
-    Watchdog,
+    run_resilient, PassRecord, Provenance, ResilientReport, Rung, RungOutcome, RungRecord,
+    RunnerOptions, Watchdog,
 };
 pub use verdict::{BugKind, BugReport, Soundness, Verdict};

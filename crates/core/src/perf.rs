@@ -151,6 +151,7 @@ fn analyze(
         let lin1p = sess.ctx.mk_bv_add(lin1, one);
         let successors = sess.ctx.mk_eq(lin1p, lin2);
 
+        sess.enter_seg(&format!("bi:{i}"));
         let mut reported: Vec<String> = Vec::new();
         for a in &region.log {
             let info = unit.types.vars.get(&a.array);
@@ -210,6 +211,7 @@ fn analyze(
                 }
             }
         }
+        sess.exit_seg();
     }
     Ok(PerfReport { findings, queries: sess.take_queries(), elapsed: started.elapsed() })
 }

@@ -43,12 +43,13 @@
 
 use crate::kernel::KernelUnit;
 use crate::runner::{
-    adopt_verdict, build_ladder, dispatch_rung, rung_timeout, run_rung, Provenance,
-    ResilientReport, RungOutcome, RungRecord, RungResult, RunnerOptions,
+    adopt_verdict, build_ladder, dispatch_rung, run_aux_passes, rung_outcome_key, rung_timeout,
+    run_rung, Provenance, ResilientReport, RungOutcome, RungRecord, RungResult, RunnerOptions,
 };
-use crate::equiv::Report;
+use crate::equiv::{QueryStat, Report};
 use crate::verdict::Verdict;
 use pug_ir::GpuConfig;
+use pug_obs::TraceSpan;
 use pug_smt::CancelToken;
 use std::collections::HashSet;
 use std::fmt;
@@ -241,7 +242,7 @@ struct RungMsg {
     index: usize,
     result: RungResult,
     elapsed: Duration,
-    queries: usize,
+    stats: Vec<QueryStat>,
 }
 
 /// A resolved rung, parked until the task finalizes.
@@ -249,7 +250,7 @@ struct Slot {
     outcome: RungOutcome,
     report: Option<Report>,
     elapsed: Duration,
-    queries: usize,
+    stats: Vec<QueryStat>,
 }
 
 /// Per-task arbitration state.
@@ -353,31 +354,69 @@ pub fn verify_all(tasks: &[VerifyTask], opts: &PortfolioOptions) -> Vec<Resilien
     }
 
     let mut states: Vec<TaskState> = Vec::with_capacity(tasks.len());
+    let mut verify_spans: Vec<TraceSpan> = Vec::with_capacity(tasks.len());
     for (t, task) in tasks.iter().enumerate() {
         let root = CancelToken::new();
         let state = TaskState::new(width, &root);
         let shared = Arc::new(task.clone());
+        // The task's verify span stays open until its report is assembled,
+        // so every racing rung's span nests under a live parent.
+        let vspan = if runner_opts.trace.is_enabled() {
+            TraceSpan::root(runner_opts.trace.clone()).child_with(
+                "verify",
+                vec![
+                    ("task", task.name.as_str().into()),
+                    ("src", task.src.kernel.name.as_str().into()),
+                    ("tgt", task.tgt.kernel.name.as_str().into()),
+                ],
+            )
+        } else {
+            TraceSpan::disabled()
+        };
         for (i, &rung) in ladder.iter().enumerate() {
             let token = state.tokens[i].clone();
             let tx = tx.clone();
             let task = Arc::clone(&shared);
             let ropts = runner_opts.clone();
             let timeout = rung_timeout(&ropts, i);
+            let vspan = vspan.clone();
             pool.submit(Box::new(move || {
-                let (result, elapsed, queries) = if token.is_cancelled() {
+                let (result, elapsed, stats) = if token.is_cancelled() {
                     // Axed while still queued: zero cost, never started.
-                    (RungResult::Timeout, Duration::ZERO, 0)
+                    (RungResult::Timeout, Duration::ZERO, Vec::new())
                 } else {
-                    run_rung(rung, timeout, token, |check_opts| {
+                    let rung_span = if vspan.is_enabled() {
+                        vspan.child(&format!("rung:{rung}"))
+                    } else {
+                        TraceSpan::disabled()
+                    };
+                    let r = run_rung(rung, timeout, token, rung_span.clone(), ropts.metrics.clone(), |check_opts| {
                         dispatch_rung(rung, &task.src, &task.tgt, &task.cfg, &ropts, check_opts)
-                    })
+                    });
+                    if rung_span.is_enabled() {
+                        // Raw fate at close time; the arbiter may later
+                        // reclassify a cancelled timeout as "abandoned" in
+                        // the provenance.
+                        let outcome = match &r.0 {
+                            RungResult::Verdict(_) => "answered",
+                            RungResult::Timeout => "timeout",
+                            RungResult::Crashed(_) => "crashed",
+                            RungResult::Failed(_) => "failed",
+                        };
+                        rung_span.close_with(vec![
+                            ("outcome", outcome.into()),
+                            ("queries", r.2.len().into()),
+                        ]);
+                    }
+                    r
                 };
                 // The arbiter outlives every job; a send can only fail if
                 // the batch already panicked, in which case silence is fine.
-                let _ = tx.send(RungMsg { task: t, index: i, result, elapsed, queries });
+                let _ = tx.send(RungMsg { task: t, index: i, result, elapsed, stats });
             }));
         }
         states.push(state);
+        verify_spans.push(vspan);
     }
     drop(tx);
 
@@ -399,14 +438,21 @@ pub fn verify_all(tasks: &[VerifyTask], opts: &PortfolioOptions) -> Vec<Resilien
             state.axe_below(msg.index);
         }
         state.slots[msg.index] =
-            Some(Slot { outcome, report, elapsed: msg.elapsed, queries: msg.queries });
+            Some(Slot { outcome, report, elapsed: msg.elapsed, stats: msg.stats });
         state.arbitrate(started.elapsed());
     }
 
     // Assemble reports in input order.
     states
         .into_iter()
-        .map(|mut state| {
+        .zip(tasks.iter())
+        .zip(verify_spans)
+        .map(|((mut state, task), vspan)| {
+            if runner_opts.metrics.is_enabled() {
+                for r in &skipped {
+                    runner_opts.metrics.incr(rung_outcome_key(&r.outcome));
+                }
+            }
             let mut prov = Provenance { rungs: skipped.clone(), ..Provenance::default() };
             let mut verdict = Verdict::Timeout;
             if let Some(w) = state.winner {
@@ -427,13 +473,21 @@ pub fn verify_all(tasks: &[VerifyTask], opts: &PortfolioOptions) -> Vec<Resilien
                     RungOutcome::Timeout if state.axed[i] => RungOutcome::Abandoned,
                     o => o,
                 };
+                if runner_opts.metrics.is_enabled() {
+                    runner_opts.metrics.incr(rung_outcome_key(&outcome));
+                }
                 prov.rungs.push(RungRecord {
                     rung: ladder[i],
                     outcome,
                     elapsed: slot.elapsed,
-                    queries: slot.queries,
+                    queries: slot.stats.len(),
+                    stats: slot.stats,
                 });
             }
+            if runner_opts.aux_passes {
+                prov.passes = run_aux_passes(&task.tgt, &task.cfg, &runner_opts, &vspan);
+            }
+            vspan.close_with(vec![("verdict", verdict.to_string().into())]);
             let elapsed = state.decided_after.unwrap_or_else(|| started.elapsed());
             ResilientReport { verdict, provenance: prov, elapsed }
         })

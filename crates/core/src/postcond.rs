@@ -50,7 +50,7 @@ pub fn check_postcondition_nonparam(
             &sess.ctx,
         )),
     };
-    Ok(sess.into_report(verdict, started))
+    Ok(sess.take_report(verdict, started))
 }
 
 /// Check `postcond`/`assert` statements parametrically (§IV encoding).
@@ -129,7 +129,7 @@ pub fn check_postcondition_param(
     let goal = sess.ctx.mk_and_many(&resolved);
     match sess.query("postcond(param)", &premises, goal) {
         SmtResult::Unsat => {}
-        SmtResult::Unknown => return Ok(sess.into_report(Verdict::Timeout, started)),
+        SmtResult::Unknown => return Ok(sess.take_report(Verdict::Timeout, started)),
         SmtResult::Sat(model) => {
             let v = Verdict::Bug(BugReport::new(
                 BugKind::AssertionViolation,
@@ -137,7 +137,7 @@ pub fn check_postcondition_param(
                 model,
                 &sess.ctx,
             ));
-            return Ok(sess.into_report(v, started));
+            return Ok(sess.take_report(v, started));
         }
     }
 
@@ -153,8 +153,8 @@ pub fn check_postcondition_param(
                 &premises,
             )? {
                 None => {}
-                Some(Verdict::Timeout) => return Ok(sess.into_report(Verdict::Timeout, started)),
-                Some(v) if ob.uninit_base => return Ok(sess.into_report(v, started)),
+                Some(Verdict::Timeout) => return Ok(sess.take_report(Verdict::Timeout, started)),
+                Some(v) if ob.uninit_base => return Ok(sess.take_report(v, started)),
                 Some(_) => {
                     // Input-backed read without a witnessed writer: the
                     // property was only checked on covered cells.
@@ -165,5 +165,5 @@ pub fn check_postcondition_param(
     }
 
     let soundness = sess.soundness;
-    Ok(sess.into_report(Verdict::Verified(soundness), started))
+    Ok(sess.take_report(Verdict::Verified(soundness), started))
 }

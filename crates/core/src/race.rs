@@ -88,12 +88,14 @@ pub fn check_races(
         };
         assumptions.extend(region.outputs.assumptions.iter().copied());
 
+        sess.enter_seg(&format!("bi:{i}"));
         if let Some(v) = race_in_region(&mut sess, &bound, unit, &region, &assumptions, &extra, i)? {
-            return Ok(sess.into_report(v, started));
+            return Ok(sess.take_report(v, started));
         }
+        sess.exit_seg();
     }
     let soundness = sess.soundness;
-    Ok(sess.into_report(Verdict::Verified(soundness), started))
+    Ok(sess.take_report(Verdict::Verified(soundness), started))
 }
 
 fn race_in_region(

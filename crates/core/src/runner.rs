@@ -22,11 +22,14 @@
 //! [`Provenance`] so the final verdict says *which* encoding answered, what
 //! was spent on the way down, and how soundness degraded.
 
-use crate::equiv::{check_equivalence_nonparam, check_equivalence_param, CheckOptions, Report};
+use crate::equiv::{
+    check_equivalence_nonparam, check_equivalence_param, CheckOptions, QueryStat, Report,
+};
 use crate::error::Error;
 use crate::kernel::KernelUnit;
 use crate::verdict::{Soundness, Verdict};
 use pug_ir::{Extent, GpuConfig};
+use pug_obs::{MetricsRegistry, TraceSink, TraceSpan};
 use pug_smt::failpoints::{self, Fault};
 use pug_smt::CancelToken;
 use std::collections::HashMap;
@@ -131,6 +134,24 @@ pub struct RungRecord {
     pub elapsed: Duration,
     /// SMT queries issued on this rung, when the checker got that far.
     pub queries: usize,
+    /// Per-query statistics of this rung — kept even when the rung timed
+    /// out, so traces and explanations can show where the budget went.
+    pub stats: Vec<QueryStat>,
+}
+
+/// Record of one auxiliary analysis pass (races, bank conflicts,
+/// coalescing) run alongside the equivalence ladder when
+/// [`RunnerOptions::aux_passes`] is set.
+#[derive(Clone, Debug)]
+pub struct PassRecord {
+    /// Pass name: `race`, `bank-conflict` or `coalescing`.
+    pub pass: &'static str,
+    /// One-line result: a verdict rendering, a findings count, or an error.
+    pub summary: String,
+    pub elapsed: Duration,
+    /// The pass's SMT queries — previously dropped on the floor; threading
+    /// them here is what makes the passes visible in traces and reports.
+    pub stats: Vec<QueryStat>,
 }
 
 /// Where the final verdict came from and what it cost.
@@ -143,6 +164,9 @@ pub struct Provenance {
     /// Human-readable soundness qualification of the adopted verdict, when
     /// the answering rung is weaker than the fully parameterized claim.
     pub soundness_note: Option<String>,
+    /// Auxiliary analysis passes (races, bank conflicts, coalescing), when
+    /// [`RunnerOptions::aux_passes`] requested them.
+    pub passes: Vec<PassRecord>,
 }
 
 impl Provenance {
@@ -163,6 +187,14 @@ impl Provenance {
         }
         if let Some(n) = &self.soundness_note {
             out.push_str(&format!("\n  note: {n}"));
+        }
+        for p in &self.passes {
+            out.push_str(&format!(
+                "\n  pass {:<12} {:>8.2}s  {}",
+                p.pass,
+                p.elapsed.as_secs_f64(),
+                p.summary
+            ));
         }
         out
     }
@@ -216,6 +248,16 @@ pub struct RunnerOptions {
     /// runner/batch entry point create its own, so rungs of one run always
     /// share; supply one explicitly to share across runs.
     pub query_cache: Option<crate::portfolio::QueryCache>,
+    /// Structured trace sink. [`TraceSink::disabled`] (the default) costs
+    /// one branch per query; a recording sink captures the span tree
+    /// `verify > rung:… > bi:… > query:…` for JSONL export.
+    pub trace: TraceSink,
+    /// Metrics registry fed across rungs; disabled by default.
+    pub metrics: MetricsRegistry,
+    /// Also run the auxiliary analyses (data races, shared-memory bank
+    /// conflicts, global-memory coalescing) on the target kernel once the
+    /// ladder resolves, attaching their query statistics to the provenance.
+    pub aux_passes: bool,
 }
 
 impl Default for RunnerOptions {
@@ -228,6 +270,9 @@ impl Default for RunnerOptions {
             max_clause_bytes: None,
             max_term_nodes: None,
             query_cache: None,
+            trace: TraceSink::disabled(),
+            metrics: MetricsRegistry::disabled(),
+            aux_passes: false,
         }
     }
 }
@@ -241,6 +286,24 @@ impl RunnerOptions {
     /// Add a concretized parameter (enables the Param+C rung).
     pub fn concretized(mut self, name: &str, value: u64) -> RunnerOptions {
         self.concretize.insert(name.to_string(), value);
+        self
+    }
+
+    /// Record the run's span tree into `sink`.
+    pub fn with_trace(mut self, sink: TraceSink) -> RunnerOptions {
+        self.trace = sink;
+        self
+    }
+
+    /// Feed counters/histograms into `metrics`.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> RunnerOptions {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Enable the auxiliary race/perf passes.
+    pub fn with_aux_passes(mut self) -> RunnerOptions {
+        self.aux_passes = true;
         self
     }
 }
@@ -340,15 +403,17 @@ pub(crate) fn run_rung<F>(
     rung: Rung,
     timeout: Option<Duration>,
     token: CancelToken,
+    trace: TraceSpan,
+    metrics: MetricsRegistry,
     f: F,
-) -> (RungResult, Duration, usize)
+) -> (RungResult, Duration, Vec<QueryStat>)
 where
     F: FnOnce(CheckOptions) -> Result<Report, Error>,
 {
     let started = Instant::now();
     let _watchdog = timeout.map(|t| Watchdog::arm(token.clone(), t));
 
-    let opts = CheckOptions { timeout, cancel: token, ..CheckOptions::default() };
+    let opts = CheckOptions { timeout, cancel: token, trace, metrics, ..CheckOptions::default() };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         // Fault injection: `Panic` unwinds from inside the boundary, exactly
         // like a checker bug would.
@@ -365,15 +430,17 @@ where
     let elapsed = started.elapsed();
 
     match outcome {
-        Err(payload) => (RungResult::Crashed(panic_message(&*payload)), elapsed, 0),
-        Ok(Err(e)) => (RungResult::Failed(e.to_string()), elapsed, 0),
-        Ok(Ok(report)) => {
-            let queries = report.queries.len();
-            match report.verdict {
-                Verdict::Timeout => (RungResult::Timeout, elapsed, queries),
-                _ => (RungResult::Verdict(report), elapsed, queries),
+        Err(payload) => (RungResult::Crashed(panic_message(&*payload)), elapsed, Vec::new()),
+        Ok(Err(e)) => (RungResult::Failed(e.to_string()), elapsed, Vec::new()),
+        Ok(Ok(report)) => match report.verdict {
+            // A timed-out rung still issued real queries; keep them so
+            // provenance shows where the budget went.
+            Verdict::Timeout => (RungResult::Timeout, elapsed, report.queries),
+            _ => {
+                let queries = report.queries.clone();
+                (RungResult::Verdict(report), elapsed, queries)
             }
-        }
+        },
     }
 }
 
@@ -393,6 +460,7 @@ pub(crate) fn build_ladder(opts: &RunnerOptions) -> (Vec<Rung>, Vec<RungRecord>)
             outcome: RungOutcome::Skipped("no concretized parameters configured".into()),
             elapsed: Duration::ZERO,
             queries: 0,
+            stats: Vec::new(),
         });
     }
     ladder.extend(opts.fallback_ns.iter().map(|&n| Rung::NonParam { n }));
@@ -462,6 +530,11 @@ pub fn run_resilient(
     let started = Instant::now();
     let mut prov = Provenance::default();
     let (ladder, skipped) = build_ladder(opts);
+    if opts.metrics.is_enabled() {
+        for r in &skipped {
+            opts.metrics.incr(rung_outcome_key(&r.outcome));
+        }
+    }
     prov.rungs.extend(skipped);
 
     // Ladder descent reuses discharged obligations: what the Param rung
@@ -475,12 +548,33 @@ pub fn run_resilient(
         opts
     };
 
+    let verify_span = if opts.trace.is_enabled() {
+        TraceSpan::root(opts.trace.clone()).child_with(
+            "verify",
+            vec![
+                ("src", src.kernel.name.as_str().into()),
+                ("tgt", tgt.kernel.name.as_str().into()),
+            ],
+        )
+    } else {
+        TraceSpan::disabled()
+    };
+
     for (index, rung) in ladder.into_iter().enumerate() {
         let timeout = rung_timeout(opts, index);
-        let (result, elapsed, queries) =
-            run_rung(rung, timeout, CancelToken::new(), |check_opts| {
-                dispatch_rung(rung, src, tgt, cfg, opts, check_opts)
-            });
+        let rung_span = if verify_span.is_enabled() {
+            verify_span.child(&format!("rung:{rung}"))
+        } else {
+            TraceSpan::disabled()
+        };
+        let (result, elapsed, stats) = run_rung(
+            rung,
+            timeout,
+            CancelToken::new(),
+            rung_span.clone(),
+            opts.metrics.clone(),
+            |check_opts| dispatch_rung(rung, src, tgt, cfg, opts, check_opts),
+        );
 
         let (outcome, answer) = match result {
             RungResult::Verdict(report) => (RungOutcome::Answered, Some(report)),
@@ -488,21 +582,124 @@ pub fn run_resilient(
             RungResult::Crashed(m) => (RungOutcome::Crashed(m), None),
             RungResult::Failed(m) => (RungOutcome::Failed(m), None),
         };
-        prov.rungs.push(RungRecord { rung, outcome, elapsed, queries });
+        note_rung_outcome(opts, &rung_span, &outcome, stats.len());
+        prov.rungs.push(RungRecord { rung, outcome, elapsed, queries: stats.len(), stats });
 
         if let Some(report) = answer {
             prov.answered_by = Some(rung);
             prov.soundness_note = rung.downgrade();
             let verdict = adopt_verdict(report.verdict, rung);
+            if opts.aux_passes {
+                prov.passes = run_aux_passes(tgt, cfg, opts, &verify_span);
+            }
+            verify_span.close_with(vec![("verdict", verdict.to_string().into())]);
             return ResilientReport { verdict, provenance: prov, elapsed: started.elapsed() };
         }
     }
 
+    if opts.aux_passes {
+        prov.passes = run_aux_passes(tgt, cfg, opts, &verify_span);
+    }
+    verify_span.close_with(vec![("verdict", "timeout (no rung answered)".into())]);
     ResilientReport {
         verdict: Verdict::Timeout,
         provenance: prov,
         elapsed: started.elapsed(),
     }
+}
+
+/// Record a rung's fate in the trace and the outcome counters.
+pub(crate) fn note_rung_outcome(
+    opts: &RunnerOptions,
+    rung_span: &TraceSpan,
+    outcome: &RungOutcome,
+    queries: usize,
+) {
+    if rung_span.is_enabled() {
+        rung_span.close_with(vec![
+            ("outcome", outcome.to_string().into()),
+            ("queries", queries.into()),
+        ]);
+    }
+    if opts.metrics.is_enabled() {
+        opts.metrics.incr(rung_outcome_key(outcome));
+    }
+}
+
+/// Metrics counter name for a rung outcome.
+pub(crate) fn rung_outcome_key(outcome: &RungOutcome) -> &'static str {
+    match outcome {
+        RungOutcome::Answered => "runner.rung.answered",
+        RungOutcome::Timeout => "runner.rung.timeout",
+        RungOutcome::Crashed(_) => "runner.rung.crashed",
+        RungOutcome::Failed(_) => "runner.rung.failed",
+        RungOutcome::Skipped(_) => "runner.rung.skipped",
+        RungOutcome::Abandoned => "runner.rung.abandoned",
+    }
+}
+
+/// Run the auxiliary analyses (data races, bank conflicts, coalescing) on
+/// the *target* kernel — the artifact actually shipped — under the same
+/// caps as a rung, each inside its own fault boundary. Their `QueryStat`s
+/// used to be dropped on the floor; they now ride in the provenance.
+pub(crate) fn run_aux_passes(
+    tgt: &KernelUnit,
+    cfg: &GpuConfig,
+    opts: &RunnerOptions,
+    parent: &TraceSpan,
+) -> Vec<PassRecord> {
+    type PassFn = fn(&KernelUnit, &GpuConfig, &CheckOptions) -> (String, Vec<QueryStat>);
+
+    fn race_pass(u: &KernelUnit, c: &GpuConfig, o: &CheckOptions) -> (String, Vec<QueryStat>) {
+        match crate::race::check_races(u, c, o) {
+            Ok(rep) => (rep.verdict.to_string(), rep.queries),
+            Err(e) => (format!("error: {e}"), Vec::new()),
+        }
+    }
+    fn perf_summary(
+        r: Result<crate::perf::PerfReport, Error>,
+    ) -> (String, Vec<QueryStat>) {
+        match r {
+            Ok(rep) if rep.findings.is_empty() => ("clean".into(), rep.queries),
+            Ok(rep) => (format!("{} finding(s)", rep.findings.len()), rep.queries),
+            Err(e) => (format!("error: {e}"), Vec::new()),
+        }
+    }
+    fn bank_pass(u: &KernelUnit, c: &GpuConfig, o: &CheckOptions) -> (String, Vec<QueryStat>) {
+        perf_summary(crate::perf::check_bank_conflicts(u, c, o))
+    }
+    fn coalesce_pass(u: &KernelUnit, c: &GpuConfig, o: &CheckOptions) -> (String, Vec<QueryStat>) {
+        perf_summary(crate::perf::check_coalescing(u, c, o))
+    }
+
+    let passes: [(&'static str, PassFn); 3] =
+        [("race", race_pass), ("bank-conflict", bank_pass), ("coalescing", coalesce_pass)];
+
+    let mut records = Vec::new();
+    for (name, pass) in passes {
+        let span = if parent.is_enabled() {
+            parent.child(&format!("pass:{name}"))
+        } else {
+            TraceSpan::disabled()
+        };
+        let check = CheckOptions {
+            timeout: opts.rung_timeout,
+            max_clause_bytes: opts.max_clause_bytes,
+            max_term_nodes: opts.max_term_nodes,
+            trace: span.clone(),
+            metrics: opts.metrics.clone(),
+            ..CheckOptions::default()
+        };
+        let started = Instant::now();
+        let (summary, stats) =
+            match catch_unwind(AssertUnwindSafe(|| pass(tgt, cfg, &check))) {
+                Ok(r) => r,
+                Err(payload) => (format!("crashed: {}", panic_message(&*payload)), Vec::new()),
+            };
+        span.close_with(vec![("summary", summary.as_str().into())]);
+        records.push(PassRecord { pass: name, summary, elapsed: started.elapsed(), stats });
+    }
+    records
 }
 
 #[cfg(test)]

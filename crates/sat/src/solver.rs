@@ -33,6 +33,20 @@ pub struct Stats {
     pub deleted_clauses: u64,
 }
 
+impl Stats {
+    /// Fold another solver's (or query's) statistics into this one.
+    /// Aggregation over many queries is how the observability layer and
+    /// the explain renderer total search effort per verification stage.
+    pub fn merge(&mut self, other: &Stats) {
+        self.conflicts += other.conflicts;
+        self.propagations += other.propagations;
+        self.decisions += other.decisions;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.deleted_clauses += other.deleted_clauses;
+    }
+}
+
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;

@@ -199,10 +199,13 @@ impl SolveSession {
 
         let qbudget = self.query_budget(budget);
 
+        let selects_before: usize = self.reducer.base_selects().values().map(Vec::len).sum();
         let t0 = Instant::now();
         let delta = self.reducer.reduce(ctx, &live, &qbudget);
         stats.reduce_time = t0.elapsed();
         stats.reduced_assertions = delta.assertions.len() + delta.congruence.len();
+        let selects_after: usize = self.reducer.base_selects().values().map(Vec::len).sum();
+        stats.ack_selects = selects_after - selects_before;
         if delta.interrupted {
             // Nothing permanent was asserted (the congruence high-water mark
             // only advances on completion), so the session stays healthy.

@@ -48,6 +48,11 @@ pub struct CheckStats {
     pub cnf_clauses: usize,
     /// Assertions after array elimination (incl. Ackermann constraints).
     pub reduced_assertions: usize,
+    /// Base-array reads Ackermannized for this query. One-shot checks
+    /// report the query's total; session checks report the *delta* this
+    /// query added to the persistent reducer, so summing over queries
+    /// gives a meaningful counter either way.
+    pub ack_selects: usize,
     /// SAT-solver statistics (per query, even inside a session).
     pub sat: pug_sat::Stats,
     /// Time spent in array elimination for this query.
@@ -101,6 +106,7 @@ pub fn check_detailed(
     let reduction = reduce_arrays_budgeted(ctx, &live, budget);
     stats.reduce_time = t0.elapsed();
     stats.reduced_assertions = reduction.assertions.len();
+    stats.ack_selects = reduction.base_selects.values().map(Vec::len).sum();
     if reduction.interrupted {
         return (SmtResult::Unknown, stats);
     }

@@ -1,0 +1,61 @@
+//! Observability: trace a verification, read its metrics, explain its
+//! verdict.
+//!
+//! ```text
+//! cargo run --release --example observability
+//! ```
+//!
+//! Every check accepts a [`TraceSink`] and a [`MetricsRegistry`] through
+//! its options. Disabled (the default) they cost one branch per call;
+//! recording, the sink collects a totally ordered span tree
+//! (`verify > rung:Param > query:value[odata]`) exportable as JSONL, and
+//! the registry totals solver effort (conflicts, propagations, Ackermann
+//! selects, cache hits) across every query of the run. `explain_report`
+//! then turns the finished [`ResilientReport`] into a human-readable
+//! narrative of the ladder walk.
+
+use pug_ir::GpuConfig;
+use pug_obs::{validate, MetricsRegistry, TraceSink};
+use pugpara::runner::{run_resilient, RunnerOptions};
+use pugpara::{explain_report, KernelUnit};
+use std::time::Duration;
+
+fn main() {
+    let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+    let opt = KernelUnit::load(pug_kernels::transpose::OPTIMIZED).unwrap();
+    let cfg = GpuConfig::symbolic_2d(8);
+
+    // Attach a recording sink and a live registry; concretize the scalar
+    // parameters so the Param+C rung answers inside a small deadline, and
+    // turn the auxiliary race/perf passes on so they appear in the trace.
+    let sink = TraceSink::recording();
+    let metrics = MetricsRegistry::new();
+    let opts = RunnerOptions {
+        rung_timeout: Some(Duration::from_secs(2)),
+        concretize: [("width".to_string(), 8), ("height".to_string(), 8)]
+            .into_iter()
+            .collect(),
+        ..RunnerOptions::default()
+    }
+    .with_trace(sink.clone())
+    .with_metrics(metrics.clone())
+    .with_aux_passes();
+
+    let report = run_resilient(&naive, &opt, &cfg, &opts);
+
+    println!("== span tree (JSONL, first 10 events)");
+    for line in sink.to_jsonl().lines().take(10) {
+        println!("{line}");
+    }
+    let summary = validate(&sink.events()).expect("trace is structurally valid");
+    println!(
+        "... {} spans, {} points, max depth {}\n",
+        summary.spans, summary.points, summary.max_depth
+    );
+
+    println!("== metrics");
+    print!("{}", metrics.render());
+
+    println!("\n== verdict narrative");
+    print!("{}", explain_report(&report));
+}

@@ -1,0 +1,116 @@
+//! Metrics self-consistency: the counters, histograms, trace, and
+//! provenance are four views of the same run and must agree exactly.
+//!
+//! For each of 50 KernelGen-fuzzed verification runs (SplitMix64 seeds,
+//! basic and extended grammars) with a recording sink and a live registry:
+//!
+//! * the trace validates structurally — every opened span closed exactly
+//!   once, sequence numbers strictly increasing;
+//! * `queries.total` == number of `query:` spans in the trace
+//!   == the `query_us` histogram's count
+//!   == the sum of per-rung (and per-pass) `QueryStat` records;
+//! * `queries.valid + queries.counterexample + queries.timeout` ==
+//!   `queries.total` (a cache hit counts as valid), and
+//!   `queries.cached <= queries.valid`;
+//! * rung-outcome counters sum to the number of rung records.
+
+use pug_obs::{validate, EventKind, MetricsRegistry, TraceSink};
+use pugpara::runner::{run_resilient, RunnerOptions};
+use pugpara::KernelUnit;
+use pug_ir::GpuConfig;
+use pug_testutil::KernelGen;
+
+fn fuzz_cfg() -> GpuConfig {
+    GpuConfig {
+        bits: 8,
+        bdim: [pug_ir::Extent::Sym, pug_ir::Extent::Const(1), pug_ir::Extent::Const(1)],
+        gdim: [pug_ir::Extent::Const(1), pug_ir::Extent::Const(1)],
+    }
+}
+
+#[test]
+fn metrics_agree_with_trace_and_provenance_on_fuzzed_runs() {
+    for i in 0..50u64 {
+        // Split the budget over both grammars; odd runs turn the auxiliary
+        // passes on so their queries are covered by the invariant too.
+        let (name, text) = if i < 25 {
+            (format!("basic seed {i}"), KernelGen::basic(i * 13 + 1).kernel())
+        } else {
+            (format!("extended seed {i}"), KernelGen::extended(i * 71 + 9).kernel())
+        };
+        let unit = KernelUnit::load(&text).unwrap();
+        let sink = TraceSink::recording();
+        let metrics = MetricsRegistry::new();
+        let mut opts = RunnerOptions::default()
+            .with_trace(sink.clone())
+            .with_metrics(metrics.clone());
+        if i % 2 == 1 {
+            opts = opts.with_aux_passes();
+        }
+        let report = run_resilient(&unit, &unit, &fuzz_cfg(), &opts);
+
+        // Structural validity: spans balanced, seq strictly increasing.
+        let events = sink.events();
+        let summary = validate(&events)
+            .unwrap_or_else(|e| panic!("{name}: broken trace: {e}\n{text}"));
+        assert!(summary.spans > 0, "{name}: no spans recorded");
+
+        let snap = metrics.snapshot();
+        let total = snap.counter("queries.total");
+
+        // View 1: trace — one query span per query.
+        let query_spans = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Open) && e.name.starts_with("query:"))
+            .count() as u64;
+        assert_eq!(
+            total, query_spans,
+            "{name}: queries.total != query spans in trace\n{text}"
+        );
+
+        // View 2: histogram — one observation per query.
+        let hist = snap
+            .histogram("query_us")
+            .unwrap_or_else(|| panic!("{name}: no query_us histogram"));
+        assert_eq!(total, hist.count, "{name}: histogram count != queries.total");
+
+        // View 3: provenance — every query ends up in some record. (Rungs
+        // that crash lose their stats vector; fuzzed self-pairs never
+        // crash, so equality is exact here.)
+        let in_rungs: usize = report.provenance.rungs.iter().map(|r| r.stats.len()).sum();
+        let in_passes: usize = report.provenance.passes.iter().map(|p| p.stats.len()).sum();
+        assert_eq!(
+            total as usize,
+            in_rungs + in_passes,
+            "{name}: provenance lost queries\n{}",
+            report.provenance.render()
+        );
+
+        // Outcome counters partition the total; cache hits count as valid.
+        let valid = snap.counter("queries.valid");
+        let cex = snap.counter("queries.counterexample");
+        let timeout = snap.counter("queries.timeout");
+        let cached = snap.counter("queries.cached");
+        assert_eq!(total, valid + cex + timeout, "{name}: outcome counters do not partition");
+        assert!(cached <= valid, "{name}: cached > valid");
+
+        // Rung-outcome counters cover every ladder record.
+        let rung_total: u64 = [
+            "runner.rung.answered",
+            "runner.rung.timeout",
+            "runner.rung.crashed",
+            "runner.rung.failed",
+            "runner.rung.skipped",
+            "runner.rung.abandoned",
+        ]
+        .iter()
+        .map(|k| snap.counter(k))
+        .sum();
+        assert_eq!(
+            rung_total as usize,
+            report.provenance.rungs.len(),
+            "{name}: rung counters != ladder records\n{}",
+            report.provenance.render()
+        );
+    }
+}
