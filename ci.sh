@@ -35,6 +35,13 @@ run_suite "incremental perf smoke" \
 # closes, strictly increasing sequence). Non-zero exit on a broken trace.
 run_suite "trace smoke" \
   cargo run --release -p pug-bench --bin repro-tables -- --trace /tmp/pug_trace_ci.jsonl
+# Service smoke: starts the pug-serve daemon on an ephemeral port, runs
+# corpus jobs over the wire (including one with an armed runner failpoint),
+# asserts verdicts byte-identical to the in-process runner, checks the
+# /metrics endpoint, and times a graceful shutdown. Non-zero exit on any
+# disagreement or a dirty drain.
+run_suite "serve smoke" \
+  cargo run --release -p pug-serve -- --smoke
 
 echo
 echo "== wall-clock summary"

@@ -73,7 +73,10 @@ pub use error::Error;
 pub use explain::{explain_report, explain_with, ExplainOptions};
 pub use kernel::KernelUnit;
 pub use perf::{check_bank_conflicts, check_coalescing, PerfReport};
-pub use portfolio::{run_portfolio, verify_all, PortfolioOptions, QueryCache, VerifyTask, WorkerPool};
+pub use portfolio::{
+    run_portfolio, verify_all, verify_all_on, PortfolioOptions, QueryCache, QueryCacheStats,
+    VerifyTask, WorkerPool, DEFAULT_QUERY_CACHE_CAPACITY,
+};
 pub use postcond::{check_postcondition_nonparam, check_postcondition_param};
 pub use pug_smt::failpoints;
 pub use race::check_races;

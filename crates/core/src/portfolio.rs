@@ -49,16 +49,32 @@ use crate::runner::{
 use crate::equiv::{QueryStat, Report};
 use crate::verdict::Verdict;
 use pug_ir::GpuConfig;
-use pug_obs::TraceSpan;
+use pug_obs::{MetricsRegistry, TraceSpan};
 use pug_smt::CancelToken;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Default [`QueryCache`] capacity, in fingerprints. Generous on purpose:
+/// a fingerprint is 16 bytes, so a full cache holds ~16 MiB of keys —
+/// far beyond what any single run records — and the cap only exists so a
+/// long-lived process (the `pug-serve` daemon) cannot grow without bound.
+pub const DEFAULT_QUERY_CACHE_CAPACITY: usize = 1 << 20;
+
+/// Acquire `m`, recovering the guard if a panicking holder poisoned it.
+///
+/// The cache's invariants are re-established before any panic point inside
+/// the critical sections below, so the data is always structurally valid;
+/// mapping poisoning to a miss (the old behavior) silently disabled
+/// caching forever after one crashed worker.
+fn recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Cross-rung cache of obligations already proven unsatisfiable.
 ///
@@ -74,11 +90,47 @@ use std::time::{Duration, Instant};
 /// carries a model whose terms live in the answering rung's context, and
 /// `Unknown` is budget-dependent. Unsat is also the common case — every
 /// discharged proof obligation — and the one worth sharing.
-#[derive(Clone, Default)]
+///
+/// The cache is **bounded**: at most `capacity` fingerprints are retained,
+/// evicted FIFO (oldest insertion first) once full. The default capacity
+/// ([`DEFAULT_QUERY_CACHE_CAPACITY`]) is far above any single run's
+/// footprint, so batch/bench behavior is unchanged; the bound matters for
+/// the long-lived `pug-serve` daemon, where one process-wide cache absorbs
+/// every submitted kernel family indefinitely.
+#[derive(Clone)]
 pub struct QueryCache {
-    unsat: Arc<Mutex<HashSet<u128>>>,
-    hits: Arc<AtomicUsize>,
-    misses: Arc<AtomicUsize>,
+    inner: Arc<Mutex<CacheInner>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+struct CacheInner {
+    set: HashSet<u128>,
+    /// Insertion order of the fingerprints in `set`, for FIFO eviction.
+    order: VecDeque<u128>,
+    capacity: usize,
+    evictions: u64,
+}
+
+/// Point-in-time counters of a [`QueryCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryCacheStats {
+    /// Distinct unsat fingerprints currently stored.
+    pub entries: usize,
+    /// Retention bound, in fingerprints.
+    pub capacity: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to be solved.
+    pub misses: u64,
+    /// Fingerprints dropped to stay within `capacity`.
+    pub evictions: u64,
+}
+
+impl Default for QueryCache {
+    fn default() -> QueryCache {
+        QueryCache::with_capacity(DEFAULT_QUERY_CACHE_CAPACITY)
+    }
 }
 
 impl QueryCache {
@@ -86,9 +138,25 @@ impl QueryCache {
         QueryCache::default()
     }
 
+    /// A cache retaining at most `capacity` fingerprints (FIFO eviction).
+    /// A capacity of zero stores nothing (every record is evicted on the
+    /// spot) while still counting lookups.
+    pub fn with_capacity(capacity: usize) -> QueryCache {
+        QueryCache {
+            inner: Arc::new(Mutex::new(CacheInner {
+                set: HashSet::new(),
+                order: VecDeque::new(),
+                capacity,
+                evictions: 0,
+            })),
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
     /// Is this fingerprint a known-unsat assert set? Counts a hit or miss.
     pub fn lookup_unsat(&self, fp: u128) -> bool {
-        let hit = self.unsat.lock().map(|s| s.contains(&fp)).unwrap_or(false);
+        let hit = recover(&self.inner).set.contains(&fp);
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -97,39 +165,81 @@ impl QueryCache {
         hit
     }
 
-    /// Record a proven-unsat assert set.
+    /// Record a proven-unsat assert set, evicting the oldest entries if
+    /// the cache is at capacity.
     pub fn record_unsat(&self, fp: u128) {
-        if let Ok(mut s) = self.unsat.lock() {
-            s.insert(fp);
+        let mut inner = recover(&self.inner);
+        if inner.set.insert(fp) {
+            inner.order.push_back(fp);
+            while inner.order.len() > inner.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.set.remove(&old);
+                    inner.evictions += 1;
+                }
+            }
         }
     }
 
     /// Lookups answered from the cache.
     pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed) as usize
     }
 
     /// Lookups that had to be solved.
     pub fn misses(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed) as usize
+    }
+
+    /// Fingerprints evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        recover(&self.inner).evictions
     }
 
     /// Distinct unsat fingerprints stored.
     pub fn len(&self) -> usize {
-        self.unsat.lock().map(|s| s.len()).unwrap_or(0)
+        recover(&self.inner).set.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// All counters in one consistent snapshot.
+    pub fn stats(&self) -> QueryCacheStats {
+        let inner = recover(&self.inner);
+        QueryCacheStats {
+            entries: inner.set.len(),
+            capacity: inner.capacity,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: inner.evictions,
+        }
+    }
+
+    /// Surface the cache counters as `cache.*` gauges in `metrics`
+    /// (no-op on a disabled registry).
+    pub fn publish(&self, metrics: &MetricsRegistry) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        let s = self.stats();
+        metrics.set_gauge("cache.entries", s.entries as u64);
+        metrics.set_gauge("cache.capacity", s.capacity as u64);
+        metrics.set_gauge("cache.hits", s.hits);
+        metrics.set_gauge("cache.misses", s.misses);
+        metrics.set_gauge("cache.evictions", s.evictions);
+    }
 }
 
 impl fmt::Debug for QueryCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
         f.debug_struct("QueryCache")
-            .field("entries", &self.len())
-            .field("hits", &self.hits())
-            .field("misses", &self.misses())
+            .field("entries", &s.entries)
+            .field("capacity", &s.capacity)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
             .finish()
     }
 }
@@ -159,10 +269,11 @@ impl WorkerPool {
                     .spawn(move || loop {
                         // Hold the lock only for the receive; the job runs
                         // unlocked so workers hand off the queue promptly.
-                        let job = match rx.lock() {
-                            Ok(guard) => guard.recv(),
-                            Err(_) => break,
-                        };
+                        // Poison recovery matters here: treating a poisoned
+                        // queue mutex as fatal would silently retire every
+                        // worker, and the next submit would kill the
+                        // process instead of running the job.
+                        let job = recover(&rx).recv();
                         match job {
                             // Belt and braces: rung jobs already catch
                             // checker panics, but a worker must survive
@@ -324,7 +435,7 @@ pub fn run_portfolio(
         .expect("one task in, one report out")
 }
 
-/// Verify a batch of kernel pairs across the worker pool.
+/// Verify a batch of kernel pairs across a private worker pool.
 ///
 /// Every (task, rung) pair is an independent job, scheduled task-major so
 /// earlier tasks' ladders fill the pool first. Results are returned in
@@ -335,14 +446,40 @@ pub fn verify_all(tasks: &[VerifyTask], opts: &PortfolioOptions) -> Vec<Resilien
     if tasks.is_empty() {
         return Vec::new();
     }
-    let started = Instant::now();
-    let (ladder, skipped) = build_ladder(&opts.runner);
+    let (ladder, _) = build_ladder(&opts.runner);
     let width = ladder.len();
     let threads = opts.threads.unwrap_or_else(|| {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         width.max(cores)
     });
     let pool = WorkerPool::new(threads.min(width * tasks.len()));
+    verify_all_on(&pool, tasks, opts, &CancelToken::new())
+}
+
+/// [`verify_all`] on an **externally owned** worker pool, under an
+/// **external cancellation parent**.
+///
+/// This is the service entry point: a long-running process (`pug-serve`)
+/// keeps one warm pool for its whole lifetime and calls this from many
+/// threads concurrently — `WorkerPool::submit` takes `&self`, so batches
+/// interleave their (task, rung) jobs in FIFO submission order. Every
+/// task's root token is a [`CancelToken::child`] of `parent`: cancelling
+/// `parent` (client disconnect, daemon drain) aborts this batch's rungs
+/// without touching other batches sharing the pool, while each rung still
+/// gets its own grandchild token so sibling isolation inside the batch is
+/// unchanged.
+pub fn verify_all_on(
+    pool: &WorkerPool,
+    tasks: &[VerifyTask],
+    opts: &PortfolioOptions,
+    parent: &CancelToken,
+) -> Vec<ResilientReport> {
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    let started = Instant::now();
+    let (ladder, skipped) = build_ladder(&opts.runner);
+    let width = ladder.len();
     let (tx, rx) = channel::<RungMsg>();
 
     // One query cache per batch: rungs racing the same task (and identical
@@ -356,7 +493,7 @@ pub fn verify_all(tasks: &[VerifyTask], opts: &PortfolioOptions) -> Vec<Resilien
     let mut states: Vec<TaskState> = Vec::with_capacity(tasks.len());
     let mut verify_spans: Vec<TraceSpan> = Vec::with_capacity(tasks.len());
     for (t, task) in tasks.iter().enumerate() {
-        let root = CancelToken::new();
+        let root = parent.child();
         let state = TaskState::new(width, &root);
         let shared = Arc::new(task.clone());
         // The task's verify span stays open until its report is assembled,
@@ -443,7 +580,7 @@ pub fn verify_all(tasks: &[VerifyTask], opts: &PortfolioOptions) -> Vec<Resilien
     }
 
     // Assemble reports in input order.
-    states
+    let reports: Vec<ResilientReport> = states
         .into_iter()
         .zip(tasks.iter())
         .zip(verify_spans)
@@ -491,7 +628,11 @@ pub fn verify_all(tasks: &[VerifyTask], opts: &PortfolioOptions) -> Vec<Resilien
             let elapsed = state.decided_after.unwrap_or_else(|| started.elapsed());
             ResilientReport { verdict, provenance: prov, elapsed }
         })
-        .collect()
+        .collect();
+    if let Some(cache) = &runner_opts.query_cache {
+        cache.publish(&runner_opts.metrics);
+    }
+    reports
 }
 
 #[cfg(test)]
@@ -568,5 +709,99 @@ mod tests {
     #[test]
     fn empty_batch_is_empty() {
         assert!(verify_all(&[], &PortfolioOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn query_cache_evicts_fifo_at_capacity() {
+        let cache = QueryCache::with_capacity(3);
+        for fp in 0..3u128 {
+            cache.record_unsat(fp);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 0);
+        cache.record_unsat(3); // evicts 0
+        cache.record_unsat(4); // evicts 1
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 2);
+        assert!(!cache.lookup_unsat(0), "oldest entry must be gone");
+        assert!(!cache.lookup_unsat(1));
+        assert!(cache.lookup_unsat(2) && cache.lookup_unsat(3) && cache.lookup_unsat(4));
+        // Re-recording a present fingerprint is a no-op, not an eviction.
+        cache.record_unsat(4);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 2);
+        let s = cache.stats();
+        assert_eq!((s.entries, s.capacity, s.evictions), (3, 3, 2));
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn query_cache_zero_capacity_stores_nothing() {
+        let cache = QueryCache::with_capacity(0);
+        cache.record_unsat(7);
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 1);
+        assert!(!cache.lookup_unsat(7));
+    }
+
+    #[test]
+    fn query_cache_survives_poisoning() {
+        let cache = QueryCache::with_capacity(8);
+        cache.record_unsat(1);
+        // Poison the inner mutex the way a panicking worker would: unwind
+        // while holding the guard.
+        let c2 = cache.clone();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _ = std::thread::spawn(move || {
+            let _guard = recover(&c2.inner);
+            panic!("worker dies holding the cache lock");
+        })
+        .join();
+        std::panic::set_hook(hook);
+        // A poisoned lock must not silently degrade to a permanent miss.
+        assert!(cache.lookup_unsat(1), "hit must survive lock poisoning");
+        cache.record_unsat(2);
+        assert!(cache.lookup_unsat(2), "recording must survive lock poisoning");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn query_cache_publishes_gauges() {
+        let cache = QueryCache::with_capacity(4);
+        cache.record_unsat(1);
+        let _ = cache.lookup_unsat(1);
+        let _ = cache.lookup_unsat(9);
+        let metrics = pug_obs::MetricsRegistry::new();
+        cache.publish(&metrics);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("cache.entries"), Some(1));
+        assert_eq!(snap.gauge("cache.capacity"), Some(4));
+        assert_eq!(snap.gauge("cache.hits"), Some(1));
+        assert_eq!(snap.gauge("cache.misses"), Some(1));
+        assert_eq!(snap.gauge("cache.evictions"), Some(0));
+    }
+
+    #[test]
+    fn verify_all_on_shares_an_external_pool_and_parent_token() {
+        let naive = KernelUnit::load(pug_kernels::transpose::NAIVE).unwrap();
+        let cfg = GpuConfig::symbolic_2d(8);
+        let pool = WorkerPool::new(4);
+        let parent = CancelToken::new();
+        let tasks =
+            vec![VerifyTask::new("self", naive.clone(), naive.clone(), cfg.clone())];
+        let reports = verify_all_on(&pool, &tasks, &PortfolioOptions::default(), &parent);
+        assert!(reports[0].verdict.is_verified());
+        // A pre-cancelled parent aborts the whole batch: every rung is
+        // cancelled before doing real work, so no rung answers.
+        parent.cancel();
+        let reports = verify_all_on(&pool, &tasks, &PortfolioOptions::default(), &parent);
+        assert!(matches!(reports[0].verdict, Verdict::Timeout));
+        assert!(reports[0].provenance.answered_by.is_none());
+        // The pool is still healthy for subsequent batches.
+        let reports =
+            verify_all_on(&pool, &tasks, &PortfolioOptions::default(), &CancelToken::new());
+        assert!(reports[0].verdict.is_verified());
     }
 }

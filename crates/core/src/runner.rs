@@ -327,7 +327,7 @@ impl Watchdog {
         let handle = std::thread::spawn(move || {
             let (lock, cv) = &*shared;
             let deadline = Instant::now() + timeout;
-            let mut done = lock.lock().unwrap();
+            let mut done = lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             while !*done {
                 let now = Instant::now();
                 if now >= deadline {
@@ -345,7 +345,7 @@ impl Watchdog {
 impl Drop for Watchdog {
     fn drop(&mut self) {
         let (lock, cv) = &*self.state;
-        *lock.lock().unwrap() = true;
+        *lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = true;
         cv.notify_all();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
@@ -593,6 +593,9 @@ pub fn run_resilient(
                 prov.passes = run_aux_passes(tgt, cfg, opts, &verify_span);
             }
             verify_span.close_with(vec![("verdict", verdict.to_string().into())]);
+            if let Some(cache) = &opts.query_cache {
+                cache.publish(&opts.metrics);
+            }
             return ResilientReport { verdict, provenance: prov, elapsed: started.elapsed() };
         }
     }
@@ -601,6 +604,9 @@ pub fn run_resilient(
         prov.passes = run_aux_passes(tgt, cfg, opts, &verify_span);
     }
     verify_span.close_with(vec![("verdict", "timeout (no rung answered)".into())]);
+    if let Some(cache) = &opts.query_cache {
+        cache.publish(&opts.metrics);
+    }
     ResilientReport {
         verdict: Verdict::Timeout,
         provenance: prov,

@@ -149,7 +149,14 @@ impl fmt::Debug for TraceSink {
         match &self.inner {
             None => write!(f, "TraceSink::disabled"),
             Some(inner) => {
-                let n = inner.state.lock().map(|s| s.events.len()).unwrap_or(0);
+                // Recover a poisoned buffer rather than misreporting it as
+                // empty: the event vec is always structurally valid.
+                let n = inner
+                    .state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .events
+                    .len();
                 write!(f, "TraceSink::recording({n} events)")
             }
         }

@@ -20,7 +20,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// The faults a site can be armed with.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,20 +36,25 @@ pub enum Fault {
 
 static ANY_ARMED: AtomicBool = AtomicBool::new(false);
 
-fn registry() -> &'static Mutex<HashMap<String, Fault>> {
+fn registry() -> MutexGuard<'static, HashMap<String, Fault>> {
     static REG: OnceLock<Mutex<HashMap<String, Fault>>> = OnceLock::new();
+    // Poison recovery: an armed `Fault::Panic` unwinds through call stacks
+    // that may hold this lock's caller frames; the map itself is never
+    // left mid-mutation, so the guard stays valid.
     REG.get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Arm `site` with `fault`. Sticky until [`disarm`]/[`reset`].
 pub fn arm(site: &str, fault: Fault) {
-    registry().lock().unwrap().insert(site.to_string(), fault);
+    registry().insert(site.to_string(), fault);
     ANY_ARMED.store(true, Ordering::Release);
 }
 
 /// Disarm one site.
 pub fn disarm(site: &str) {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = registry();
     reg.remove(site);
     if reg.is_empty() {
         ANY_ARMED.store(false, Ordering::Release);
@@ -58,7 +63,7 @@ pub fn disarm(site: &str) {
 
 /// Disarm every site.
 pub fn reset() {
-    registry().lock().unwrap().clear();
+    registry().clear();
     ANY_ARMED.store(false, Ordering::Release);
 }
 
@@ -69,7 +74,7 @@ pub fn check(site: &str) -> Option<Fault> {
     if !ANY_ARMED.load(Ordering::Acquire) {
         return None;
     }
-    registry().lock().unwrap().get(site).copied()
+    registry().get(site).copied()
 }
 
 /// Convenience for sites whose only response to [`Fault::Panic`] is to

@@ -1,0 +1,61 @@
+//! Named kernel corpus: the bundled `pug-kernels` sources addressable over
+//! the wire as `family/variant`, so clients can submit verification jobs
+//! without shipping CUDA text (inline source remains supported for
+//! everything else, e.g. fuzz-generated kernels).
+
+/// Default block dimensionality of a corpus kernel's configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dims {
+    One,
+    Two,
+}
+
+/// All corpus entries: `(name, source, default dims)`.
+pub fn entries() -> &'static [(&'static str, &'static str, Dims)] {
+    use pug_kernels as k;
+    &[
+        ("transpose/naive", k::transpose::NAIVE, Dims::Two),
+        ("transpose/optimized", k::transpose::OPTIMIZED, Dims::Two),
+        ("transpose/optimized_unconstrained", k::transpose::OPTIMIZED_UNCONSTRAINED, Dims::Two),
+        ("transpose/buggy_addr", k::transpose::BUGGY_ADDR, Dims::Two),
+        ("transpose/buggy_guard", k::transpose::BUGGY_GUARD, Dims::Two),
+        ("reduction/v0", k::reduction::V0, Dims::One),
+        ("reduction/v1", k::reduction::V1, Dims::One),
+        ("reduction/v2", k::reduction::V2, Dims::One),
+        ("reduction/buggy_index", k::reduction::BUGGY_INDEX, Dims::One),
+        ("reduction/buggy_guard", k::reduction::BUGGY_GUARD, Dims::One),
+        ("vector_add/kernel", k::vector_add::KERNEL, Dims::One),
+        ("vector_add/buggy", k::vector_add::BUGGY, Dims::One),
+        ("scalar_product/kernel", k::scalar_product::KERNEL, Dims::One),
+        ("scalar_product/unconstrained", k::scalar_product::UNCONSTRAINED, Dims::One),
+        ("matmul/naive", k::matmul::NAIVE, Dims::Two),
+        ("matmul/tiled", k::matmul::TILED, Dims::Two),
+        ("scan/naive", k::scan::NAIVE, Dims::One),
+        ("bitonic/kernel", k::bitonic::KERNEL, Dims::One),
+    ]
+}
+
+/// Look a corpus kernel up by wire name.
+pub fn lookup(name: &str) -> Option<(&'static str, Dims)> {
+    entries().iter().find(|(n, _, _)| *n == name).map(|&(_, src, dims)| (src, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pugpara::KernelUnit;
+
+    #[test]
+    fn every_corpus_entry_parses() {
+        for (name, src, _) in entries() {
+            assert!(KernelUnit::load(src).is_ok(), "corpus kernel `{name}` must load");
+        }
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        assert!(lookup("transpose/naive").is_some());
+        assert_eq!(lookup("transpose/naive").unwrap().1, Dims::Two);
+        assert!(lookup("no/such").is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! SIGTERM / SIGINT handling without any crate dependency: a direct FFI
+//! declaration of `signal(2)` installing a handler that only stores to a
+//! static atomic (the full extent of what is async-signal-safe here). The
+//! daemon main loop polls [`triggered`] and runs graceful shutdown on its
+//! own threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Has SIGTERM or SIGINT arrived since [`install`]?
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Acquire)
+}
+
+/// For tests / the wire `shutdown` op: behave as if a signal arrived.
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::Release);
+}
+
+#[cfg(unix)]
+pub fn install() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        // POSIX `signal(2)`. Using the typed-function-pointer form keeps
+        // this dependency-free; the return value (previous handler) is
+        // deliberately ignored.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        TRIGGERED.store(true, Ordering::Release);
+    }
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+pub fn install() {
+    // No signal story off Unix; ctrl-c terminates the process directly and
+    // the wire `shutdown` op remains available.
+}

@@ -1,0 +1,296 @@
+//! End-to-end integration tests for the `pug-serve` daemon: real TCP, real
+//! jobs, real shutdown. Each test boots its own daemon on an ephemeral
+//! port. (Failpoint-based fault injection lives in the `--smoke` binary
+//! path and the `serve_load` example — failpoints are process-global and
+//! these tests run concurrently.)
+
+use pug_ir::GpuConfig;
+use pug_serve::client::{http_metrics, Client};
+use pug_serve::json::Json;
+use pug_serve::protocol::{verify_corpus_request, verify_inline_request};
+use pug_serve::server::{start, ServeConfig};
+use pug_serve::ServerHandle;
+use pugpara::portfolio::{run_portfolio, PortfolioOptions};
+use pugpara::KernelUnit;
+use std::time::{Duration, Instant};
+
+fn boot(cfg: &ServeConfig) -> ServerHandle {
+    start(cfg, "127.0.0.1:0").expect("daemon binds an ephemeral port")
+}
+
+/// A deterministically *heavy* job: proving 32-bit multiplication
+/// associativity is a classically hard SAT instance (minutes, not
+/// milliseconds), so this job reliably stays in flight until cancelled.
+/// The generous `timeout_ms` keeps the per-rung watchdog out of the way.
+fn heavy_request(id: &str) -> Json {
+    const SRC: &str = r#"
+__global__ void mulAssoc(int *d, int *a, int *b, int *c, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        d[i] = (a[i] * b[i]) * c[i];
+    }
+}
+"#;
+    const TGT: &str = r#"
+__global__ void mulAssoc(int *d, int *a, int *b, int *c, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        d[i] = a[i] * (b[i] * c[i]);
+    }
+}
+"#;
+    verify_inline_request(id, SRC, TGT, 1, 32, Some(600_000))
+}
+
+fn connect(server: &ServerHandle) -> Client {
+    let c = Client::connect(server.addr()).expect("client connects");
+    c.set_recv_timeout(Some(Duration::from_secs(120))).unwrap();
+    c
+}
+
+fn in_process_verdict(src_name: &str, tgt_name: &str) -> String {
+    let (src, dims) = pug_serve::corpus::lookup(src_name).unwrap();
+    let (tgt, _) = pug_serve::corpus::lookup(tgt_name).unwrap();
+    let cfg = match dims {
+        pug_serve::corpus::Dims::One => GpuConfig::symbolic_1d(8),
+        pug_serve::corpus::Dims::Two => GpuConfig::symbolic_2d(8),
+    };
+    run_portfolio(
+        &KernelUnit::load(src).unwrap(),
+        &KernelUnit::load(tgt).unwrap(),
+        &cfg,
+        &PortfolioOptions::default(),
+    )
+    .verdict
+    .to_string()
+}
+
+#[test]
+fn ping_metrics_and_http_metrics() {
+    let server = boot(&ServeConfig::default());
+    let mut client = connect(&server);
+
+    let pong = client.request(&Json::obj(vec![("op", "ping".into())])).unwrap();
+    assert_eq!(pong.str_field("type"), Some("pong"));
+
+    let metrics = client.request(&Json::obj(vec![("op", "metrics".into())])).unwrap();
+    assert_eq!(metrics.str_field("type"), Some("metrics"));
+    assert!(metrics.get("gauges").is_some());
+
+    let page = http_metrics(server.addr()).unwrap();
+    assert!(page.contains("serve.capacity"), "gauges should be on the page:\n{page}");
+
+    let report = server.shutdown();
+    assert!(report.clean);
+}
+
+#[test]
+fn wire_verdicts_match_the_in_process_runner() {
+    let server = boot(&ServeConfig::default());
+    let mut client = connect(&server);
+
+    // One equivalence, one real bug — both must agree byte-for-byte.
+    for (id, src, tgt) in [
+        ("eq", "vector_add/kernel", "vector_add/kernel"),
+        ("bug", "vector_add/kernel", "vector_add/buggy"),
+    ] {
+        let resp =
+            client.request(&verify_corpus_request(id, src, tgt, Some(8), None)).unwrap();
+        assert_eq!(resp.str_field("type"), Some("verdict"), "got {}", resp.render());
+        assert_eq!(resp.str_field("id"), Some(id));
+        assert_eq!(
+            resp.str_field("verdict").unwrap(),
+            in_process_verdict(src, tgt),
+            "service and in-process verdicts must be identical for {id}"
+        );
+        let rungs = resp.get("rungs").and_then(Json::as_arr).unwrap();
+        assert!(!rungs.is_empty(), "provenance must carry at least one rung record");
+    }
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn explain_narrative_streams_on_request() {
+    let server = boot(&ServeConfig::default());
+    let mut client = connect(&server);
+    let req = Json::obj(vec![
+        ("op", "verify".into()),
+        ("id", "explained".into()),
+        ("src_kernel", "reduction/v0".into()),
+        ("tgt_kernel", "reduction/buggy_guard".into()),
+        ("explain", true.into()),
+    ]);
+    let resp = client.request(&req).unwrap();
+    assert_eq!(resp.str_field("type"), Some("verdict"));
+    let narrative = resp.str_field("explain").expect("explain requested, explain delivered");
+    assert!(!narrative.is_empty());
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn bad_requests_answer_errors_not_disconnects() {
+    let server = boot(&ServeConfig::default());
+    let mut client = connect(&server);
+    for bad in [
+        r#"{"op":"verify","id":"x","src_kernel":"no/such","tgt_kernel":"vector_add/kernel"}"#
+            .to_string(),
+        r#"{"op":"teleport"}"#.to_string(),
+        "not json at all".to_string(),
+        r#"{"op":"verify","src_kernel":"vector_add/kernel","tgt_kernel":"vector_add/kernel"}"#
+            .to_string(), // missing id
+    ] {
+        let resp = client.request(&Json::parse(&bad).unwrap_or(Json::Str(bad))).unwrap();
+        assert_eq!(resp.str_field("type"), Some("error"), "got {}", resp.render());
+    }
+    // The connection survived four protocol errors.
+    let pong = client.request(&Json::obj(vec![("op", "ping".into())])).unwrap();
+    assert_eq!(pong.str_field("type"), Some("pong"));
+    assert!(server.shutdown().clean);
+}
+
+/// With a single admission slot held by a heavy job, the next submission
+/// must be shed *immediately* with an explicit `overloaded` + retry hint —
+/// and a vanished client must free its slot for others.
+#[test]
+fn overload_sheds_explicitly_and_disconnect_frees_the_slot() {
+    let cfg = ServeConfig { capacity: 1, ..ServeConfig::default() };
+    let server = boot(&cfg);
+
+    // Connection A occupies the only slot with the heavy job.
+    let mut heavy = connect(&server);
+    heavy.send(&heavy_request("heavy")).unwrap();
+    let t0 = Instant::now();
+    while server.inflight() == 0 && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.inflight(), 1, "the heavy job must be admitted");
+
+    // Connection B is shed, immediately and explicitly.
+    let mut quick = connect(&server);
+    let shed = quick
+        .request(&verify_corpus_request("quick", "vector_add/kernel", "vector_add/kernel", Some(8), None))
+        .unwrap();
+    assert_eq!(shed.str_field("type"), Some("overloaded"), "got {}", shed.render());
+    assert!(shed.u64_field("retry_after_ms").unwrap_or(0) > 0, "shed needs a retry hint");
+
+    // A vanishes without reading: its job is cancelled, the slot frees.
+    drop(heavy);
+    let t1 = Instant::now();
+    while server.inflight() > 0 && t1.elapsed() < Duration::from_secs(60) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(server.inflight(), 0, "disconnect must cancel the heavy job and free its slot");
+
+    // B retries and now completes.
+    let resp = quick
+        .request(&verify_corpus_request("quick", "vector_add/kernel", "vector_add/kernel", Some(8), None))
+        .unwrap();
+    assert_eq!(resp.str_field("type"), Some("verdict"), "got {}", resp.render());
+
+    let metrics = server.metrics().snapshot();
+    assert!(metrics.counters.get("serve.jobs.shed").copied().unwrap_or(0) >= 1);
+    assert!(
+        metrics.counters.get("serve.jobs.aborted.disconnect").copied().unwrap_or(0) >= 1,
+        "the cancelled heavy job must be classified as a disconnect abort"
+    );
+    assert!(server.shutdown().clean);
+}
+
+/// Graceful shutdown with a live straggler: the drain deadline passes, the
+/// root token cancels the job, and the daemon still exits clean — with the
+/// straggler counted.
+#[test]
+fn shutdown_drains_and_cancels_stragglers_within_deadline() {
+    let server = boot(&ServeConfig::default());
+    let mut client = connect(&server);
+    client.send(&heavy_request("straggler")).unwrap();
+    let t0 = Instant::now();
+    while server.inflight() == 0 && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.inflight(), 1);
+
+    let t1 = Instant::now();
+    let report = server.shutdown_with(Duration::from_millis(300));
+    assert!(report.clean, "shutdown left work behind: {report:?}");
+    assert_eq!(report.inflight_at_shutdown, 1);
+    assert_eq!(report.stragglers_cancelled, 1, "the heavy job cannot finish in 300ms");
+    assert!(
+        t1.elapsed() < Duration::from_secs(30),
+        "drain + cancellation grace blew way past the deadline: {:?}",
+        t1.elapsed()
+    );
+
+    // The straggler's client still gets a terminal, provenance-carrying
+    // answer (aborted), not silence.
+    let resp = client.recv().unwrap().expect("straggler answered before close");
+    assert_eq!(resp.str_field("type"), Some("aborted"), "got {}", resp.render());
+    assert!(resp.str_field("reason").unwrap_or("").contains("shutdown"));
+    assert!(resp.get("rungs").is_some(), "aborts carry partial provenance");
+}
+
+/// Regression: a client whose connection was still in the listen backlog
+/// when shutdown began (handshake done, never `accept`ed) must get
+/// explicit `shutting_down` answers — not a TCP reset that discards them.
+#[test]
+fn backlogged_connection_across_fast_drain_gets_explicit_answers() {
+    let server = boot(&ServeConfig::default());
+    let mut client = connect(&server);
+    for j in 0..4 {
+        client
+            .send(&verify_corpus_request(
+                &format!("s{j}"),
+                "vector_add/kernel",
+                "vector_add/kernel",
+                Some(8),
+                None,
+            ))
+            .unwrap();
+    }
+    // Shut down immediately: with high probability the accept loop has not
+    // yet picked the connection out of the backlog.
+    let report = server.shutdown_with(Duration::from_millis(50));
+    assert!(report.clean);
+    let mut answered = 0;
+    loop {
+        match client.recv() {
+            Ok(Some(resp)) => {
+                assert!(
+                    matches!(resp.str_field("type"), Some("verdict" | "shutting_down")),
+                    "got {}",
+                    resp.render()
+                );
+                answered += 1;
+                if answered == 4 {
+                    break;
+                }
+            }
+            Ok(None) => panic!("connection closed after only {answered} answers"),
+            Err(e) => panic!("recv failed after {answered} answers: {e}"),
+        }
+    }
+}
+
+/// New work is refused while draining.
+#[test]
+fn draining_daemon_refuses_new_jobs_explicitly() {
+    let server = boot(&ServeConfig::default());
+    let mut client = connect(&server);
+    client.send(&heavy_request("heavy")).unwrap();
+    let t0 = Instant::now();
+    while server.inflight() == 0 && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Begin shutdown on a helper thread (it blocks while draining).
+    let shutdown = std::thread::spawn(move || server.shutdown_with(Duration::from_millis(500)));
+    std::thread::sleep(Duration::from_millis(100)); // let DRAINING latch
+
+    let resp = client
+        .request(&verify_corpus_request("late", "vector_add/kernel", "vector_add/kernel", Some(8), None))
+        .unwrap();
+    assert_eq!(resp.str_field("type"), Some("shutting_down"), "got {}", resp.render());
+
+    let report = shutdown.join().unwrap();
+    assert!(report.clean);
+}
