@@ -26,10 +26,14 @@ run_suite "fault-injection smoke (sequential)" \
 run_suite "fault-injection smoke (portfolio)" \
   cargo run --release -p pug-bench --bin repro-tables -- --portfolio --fault-injection
 # Incremental-vs-one-shot perf smoke: runs multi-obligation equivalence rows
-# through both backends and exits non-zero if any verdict diverges.
-run_suite "incremental perf smoke" \
+# through both backends, exits non-zero if any verdict diverges, and gates
+# each row's wall time against the committed baseline (>10% + 50 ms slack
+# counts as a regression; rows absent from the quick grid are reported, not
+# gated).
+run_suite "perf smoke + regression gate" \
   cargo run --release -p pug-bench --bin repro-tables -- \
-    --bench-json /tmp/bench_pr4_ci.json --quick --timeout 60
+    --bench-json /tmp/bench_pr7_ci.json --quick --timeout 60 \
+    --baseline BENCH_pr7.json
 # Observability smoke: one fully traced equivalence check; the JSONL export
 # is re-parsed and the span tree structurally validated (balanced opens and
 # closes, strictly increasing sequence). Non-zero exit on a broken trace.

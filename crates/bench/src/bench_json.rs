@@ -154,6 +154,10 @@ struct ModeMetrics {
     clauses_reused: usize,
     cache_hits: usize,
     cache_misses: usize,
+    vars_eliminated: u64,
+    clauses_subsumed: u64,
+    clauses_vivified: u64,
+    gates_hashconsed: u64,
 }
 
 fn verdict_class(v: Option<&Verdict>) -> &'static str {
@@ -196,6 +200,10 @@ fn run_mode(spec: &RowSpec, timeout: Duration, incremental: bool) -> ModeMetrics
                 m.solve += q.stats.solve_time;
                 m.conflicts += q.stats.sat.conflicts;
                 m.clauses_reused += q.stats.clauses_reused;
+                m.vars_eliminated += q.stats.sat.vars_eliminated;
+                m.clauses_subsumed += q.stats.sat.clauses_subsumed;
+                m.clauses_vivified += q.stats.sat.clauses_vivified;
+                m.gates_hashconsed += q.stats.gates_hashconsed;
                 if q.stats.cached {
                     m.cached_queries += 1;
                 }
@@ -216,7 +224,8 @@ fn json_mode(out: &mut String, key: &str, m: &ModeMetrics) {
          \"solver_secs\": {:.3}, \"reduce_secs\": {:.3}, \"blast_secs\": {:.3}, \
          \"solve_secs\": {:.3}, \"queries\": {}, \"cached_queries\": {}, \
          \"conflicts\": {}, \"clauses_reused\": {}, \"cache_hits\": {}, \
-         \"cache_misses\": {}}}",
+         \"cache_misses\": {}, \"vars_eliminated\": {}, \"clauses_subsumed\": {}, \
+         \"clauses_vivified\": {}, \"gates_hashconsed\": {}}}",
         m.verdict,
         m.wall.as_secs_f64(),
         m.solver.as_secs_f64(),
@@ -229,6 +238,10 @@ fn json_mode(out: &mut String, key: &str, m: &ModeMetrics) {
         m.clauses_reused,
         m.cache_hits,
         m.cache_misses,
+        m.vars_eliminated,
+        m.clauses_subsumed,
+        m.clauses_vivified,
+        m.gates_hashconsed,
     );
 }
 
@@ -240,12 +253,83 @@ pub struct BenchJsonReport {
     pub rows_agreeing: usize,
     /// Σ one-shot wall / Σ incremental wall across rows.
     pub aggregate_speedup: f64,
+    /// Per-row (name, incremental wall seconds) — the numbers the baseline
+    /// regression gate compares.
+    pub row_walls: Vec<(String, f64)>,
+}
+
+/// Extract `(name, incremental wall_secs)` pairs from a bench JSON document
+/// (this crate's own hand-rolled format; no JSON dependency needed).
+fn parse_row_walls(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in json.split("\"name\": \"").skip(1) {
+        let Some(name_end) = chunk.find('"') else { continue };
+        let name = &chunk[..name_end];
+        let Some(inc_at) = chunk.find("\"incremental\": {") else { continue };
+        let rest = &chunk[inc_at..];
+        let Some(wall_at) = rest.find("\"wall_secs\": ") else { continue };
+        let num = &rest[wall_at + "\"wall_secs\": ".len()..];
+        let end = num
+            .find(|c: char| c != '.' && !c.is_ascii_digit())
+            .unwrap_or(num.len());
+        if let Ok(v) = num[..end].parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Gate a fresh run against a committed baseline document. A row regresses
+/// when its incremental wall exceeds `old × 1.10 + 0.05 s` — the absolute
+/// floor keeps millisecond-scale rows from tripping the gate on scheduler
+/// noise. Rows absent from either side are reported but not gated (the
+/// quick grid drops the heavyweight row). Returns a per-row summary, or the
+/// list of regressions.
+pub fn baseline_gate(report: &BenchJsonReport, baseline_json: &str) -> Result<String, String> {
+    let old_rows = parse_row_walls(baseline_json);
+    if old_rows.is_empty() {
+        return Err("baseline has no parsable rows".into());
+    }
+    let mut summary = String::new();
+    let mut regressions = Vec::new();
+    let mut old_sum = 0.0f64;
+    let mut new_sum = 0.0f64;
+    for (name, new_wall) in &report.row_walls {
+        let Some((_, old_wall)) = old_rows.iter().find(|(n, _)| n == name) else {
+            let _ = writeln!(summary, "  {name:<40} {new_wall:>7.3}s (not in baseline)");
+            continue;
+        };
+        old_sum += old_wall;
+        new_sum += new_wall;
+        let allowed = old_wall * 1.10 + 0.05;
+        let speedup = old_wall / new_wall.max(1e-9);
+        let _ = writeln!(
+            summary,
+            "  {name:<40} {old_wall:>7.3}s -> {new_wall:>7.3}s  ({speedup:.2}x)"
+        );
+        if *new_wall > allowed {
+            regressions.push(format!(
+                "{name}: {new_wall:.3}s vs baseline {old_wall:.3}s (allowed {allowed:.3}s)"
+            ));
+        }
+    }
+    let _ = writeln!(
+        summary,
+        "  {:<40} {old_sum:>7.3}s -> {new_sum:>7.3}s  ({:.2}x)",
+        "aggregate (common rows)",
+        old_sum / new_sum.max(1e-9)
+    );
+    if regressions.is_empty() {
+        Ok(summary)
+    } else {
+        Err(format!("{}\nregressions:\n  {}", summary, regressions.join("\n  ")))
+    }
 }
 
 /// Run the incremental-vs-one-shot grid and render it as JSON.
 pub fn bench_json_report(timeout: Duration, quick: bool) -> BenchJsonReport {
     let specs = rows(quick);
-    let mut json = String::from("{\n  \"bench\": \"pr4-incremental-backend\",\n");
+    let mut json = String::from("{\n  \"bench\": \"pr7-sat-simplify\",\n");
     let _ = writeln!(json, "  \"timeout_secs\": {},", timeout.as_secs());
     let _ = writeln!(json, "  \"quick\": {quick},");
     json.push_str("  \"rows\": [\n");
@@ -253,6 +337,7 @@ pub fn bench_json_report(timeout: Duration, quick: bool) -> BenchJsonReport {
     let mut agree = 0usize;
     let mut inc_wall = Duration::ZERO;
     let mut one_wall = Duration::ZERO;
+    let mut row_walls = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
         eprintln!("bench-json: {} (incremental)", spec.name);
         let inc = run_mode(spec, timeout, true);
@@ -262,6 +347,7 @@ pub fn bench_json_report(timeout: Duration, quick: bool) -> BenchJsonReport {
         if rows_agree {
             agree += 1;
         }
+        row_walls.push((spec.name.to_string(), inc.wall.as_secs_f64()));
         inc_wall += inc.wall;
         one_wall += one.wall;
         let speedup = one.wall.as_secs_f64() / inc.wall.as_secs_f64().max(1e-9);
@@ -289,6 +375,7 @@ pub fn bench_json_report(timeout: Duration, quick: bool) -> BenchJsonReport {
         rows_total: specs.len(),
         rows_agreeing: agree,
         aggregate_speedup: aggregate,
+        row_walls,
     }
 }
 
@@ -304,5 +391,48 @@ mod tests {
         assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());
         assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
         assert!(!r.json.contains("NaN"));
+        // The document round-trips through the baseline parser, so a fresh
+        // run can always be gated against this file once committed.
+        let walls = parse_row_walls(&r.json);
+        assert_eq!(walls.len(), r.row_walls.len());
+        for ((n1, w1), (n2, w2)) in walls.iter().zip(r.row_walls.iter()) {
+            assert_eq!(n1, n2);
+            assert!((w1 - w2).abs() < 0.001, "{n1}: {w1} vs {w2}");
+        }
+    }
+
+    #[test]
+    fn baseline_gate_flags_regressions_with_absolute_floor() {
+        let baseline = r#"{
+  "rows": [
+  {
+    "name": "fast-row",
+    "incremental": {"verdict": "verified", "wall_secs": 0.010},
+    "one_shot": {"verdict": "verified", "wall_secs": 0.020}
+  },
+  {
+    "name": "slow-row",
+    "incremental": {"verdict": "verified", "wall_secs": 2.000},
+    "one_shot": {"verdict": "verified", "wall_secs": 4.000}
+  }
+  ]
+}"#;
+        let mk = |walls: &[(&str, f64)]| BenchJsonReport {
+            json: String::new(),
+            rows_total: walls.len(),
+            rows_agreeing: walls.len(),
+            aggregate_speedup: 1.0,
+            row_walls: walls.iter().map(|&(n, w)| (n.to_string(), w)).collect(),
+        };
+        // Small absolute slowdowns on millisecond rows stay under the floor.
+        let ok = mk(&[("fast-row", 0.055), ("slow-row", 1.0)]);
+        assert!(baseline_gate(&ok, baseline).is_ok());
+        // A >10% (+floor) regression on a real row trips the gate.
+        let bad = mk(&[("fast-row", 0.010), ("slow-row", 2.5)]);
+        let err = baseline_gate(&bad, baseline).unwrap_err();
+        assert!(err.contains("slow-row"), "{err}");
+        // Rows missing from the baseline are reported, never gated.
+        let new_row = mk(&[("brand-new", 9.9)]);
+        assert!(baseline_gate(&new_row, baseline).is_ok());
     }
 }

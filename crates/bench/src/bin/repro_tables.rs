@@ -20,6 +20,7 @@ struct Args {
     fault_injection: bool,
     portfolio: bool,
     bench_json: Option<String>,
+    baseline: Option<String>,
     trace: Option<String>,
     explain: bool,
 }
@@ -32,6 +33,7 @@ fn parse_args() -> Args {
         fault_injection: false,
         portfolio: false,
         bench_json: None,
+        baseline: None,
         trace: None,
         explain: false,
     };
@@ -50,6 +52,9 @@ fn parse_args() -> Args {
             "--bench-json" => {
                 args.bench_json = Some(it.next().unwrap_or_else(|| usage("missing path")))
             }
+            "--baseline" => {
+                args.baseline = Some(it.next().unwrap_or_else(|| usage("missing path")))
+            }
             "--trace" => args.trace = Some(it.next().unwrap_or_else(|| usage("missing path"))),
             "--explain" => args.explain = true,
             "--help" | "-h" => usage(""),
@@ -65,7 +70,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro-tables [--table 2|3|scaling|all] [--timeout SECS] [--quick] \
-         [--fault-injection] [--portfolio] [--bench-json PATH] [--trace PATH] [--explain]"
+         [--fault-injection] [--portfolio] [--bench-json PATH] [--baseline PATH] \
+         [--trace PATH] [--explain]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -164,6 +170,27 @@ fn main() {
                 "bench-json: verdict divergence between incremental and one-shot paths"
             );
             std::process::exit(1);
+        }
+        if let Some(baseline_path) = &args.baseline {
+            // Perf-regression gate: each row's incremental wall must stay
+            // within 10% (+50 ms absolute floor) of the committed baseline.
+            let baseline = match std::fs::read_to_string(baseline_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bench-json: cannot read baseline {baseline_path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match pug_bench::baseline_gate(&report, &baseline) {
+                Ok(summary) => {
+                    println!("bench-json: baseline {baseline_path}");
+                    print!("{summary}");
+                }
+                Err(detail) => {
+                    eprintln!("bench-json: perf regression vs {baseline_path}\n{detail}");
+                    std::process::exit(1);
+                }
+            }
         }
         return;
     }

@@ -36,8 +36,8 @@ use pug_ir::{
 use crate::portfolio::QueryCache;
 use pug_obs::{MetricsRegistry, TraceSpan};
 use pug_smt::{
-    assert_fingerprint, check_detailed, Budget, CancelToken, CheckStats, Ctx, Op, SmtResult,
-    SolveSession, Sort, TermId,
+    assert_fingerprint, check_detailed_with, Budget, CancelToken, CheckStats, Ctx, Op,
+    SimplifyConfig, SmtResult, SolveSession, Sort, TermId,
 };
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
@@ -88,6 +88,10 @@ pub struct CheckOptions {
     /// Metrics registry fed by the check's queries (solver counters, cache
     /// hits, CA instantiations). Disabled by default.
     pub metrics: MetricsRegistry,
+    /// SAT pre/inprocessing (BVE, subsumption, vivification). On by default;
+    /// the differential suites turn it off to cross-check verdicts and
+    /// witnesses against the plain CDCL path.
+    pub simplify: SimplifyConfig,
 }
 
 impl Default for CheckOptions {
@@ -104,6 +108,7 @@ impl Default for CheckOptions {
             query_cache: None,
             trace: TraceSpan::disabled(),
             metrics: MetricsRegistry::disabled(),
+            simplify: SimplifyConfig::default(),
         }
     }
 }
@@ -153,6 +158,12 @@ impl CheckOptions {
     /// Feed solver/cache/CA counters into `metrics`.
     pub fn with_metrics(mut self, metrics: MetricsRegistry) -> CheckOptions {
         self.metrics = metrics;
+        self
+    }
+
+    /// Disable SAT pre/inprocessing: queries solve the raw blasted CNF.
+    pub fn no_simplify(mut self) -> CheckOptions {
+        self.simplify = SimplifyConfig::off();
         self
     }
 }
@@ -210,6 +221,7 @@ pub(crate) struct Session {
     trace: TraceSpan,
     seg_stack: Vec<TraceSpan>,
     metrics: MetricsRegistry,
+    simplify: SimplifyConfig,
 }
 
 /// Internal control flow: `Some` means stop with this verdict.
@@ -255,7 +267,7 @@ impl Session {
                 Mode::FastBugHunt => Soundness::UnderApprox,
             },
             mode: opts.mode,
-            solve: SolveSession::new(),
+            solve: SolveSession::with_config(opts.simplify.clone()),
             committed: HashSet::new(),
             incremental: opts.incremental,
             cache: opts.query_cache.clone(),
@@ -263,6 +275,7 @@ impl Session {
             trace: opts.trace.clone(),
             seg_stack: Vec::new(),
             metrics: opts.metrics.clone(),
+            simplify: opts.simplify.clone(),
         }
     }
 
@@ -338,7 +351,7 @@ impl Session {
             return;
         }
         self.metrics.incr("smt.epochs");
-        self.solve = SolveSession::new();
+        self.solve = SolveSession::with_config(self.simplify.clone());
         self.committed.clear();
     }
 
@@ -438,7 +451,7 @@ impl Session {
         let (r, stats) = if self.incremental {
             self.solve.check(&mut self.ctx, &delta, &self.budget)
         } else {
-            check_detailed(&mut self.ctx, &asserts, &self.budget)
+            check_detailed_with(&mut self.ctx, &asserts, &self.budget, &self.simplify)
         };
         if let (Some(cache), Some(f)) = (&self.cache, fp) {
             if r.is_unsat() {
@@ -492,6 +505,10 @@ impl Session {
         m.add("sat.decisions", stats.sat.decisions);
         m.add("sat.restarts", stats.sat.restarts);
         m.add("sat.learnt_clauses", stats.sat.learnt_clauses);
+        m.add("sat.vars_eliminated", stats.sat.vars_eliminated);
+        m.add("sat.clauses_subsumed", stats.sat.clauses_subsumed);
+        m.add("sat.clauses_vivified", stats.sat.clauses_vivified);
+        m.add("smt.gates_hashconsed", stats.gates_hashconsed);
         m.add("smt.reduced_assertions", stats.reduced_assertions as u64);
         m.add("smt.clauses_reused", stats.clauses_reused as u64);
         m.add("smt.ack_selects", stats.ack_selects as u64);

@@ -99,6 +99,7 @@ pub fn explain_with(report: &ResilientReport, opts: &ExplainOptions) -> String {
     if opts.show_times {
         let _ = writeln!(out, "\nbudget:");
         let mut effort = pug_sat::Stats::default();
+        let mut gates_hashconsed: u64 = 0;
         for r in &prov.rungs {
             if matches!(r.outcome, RungOutcome::Skipped(_)) {
                 continue;
@@ -114,6 +115,7 @@ pub fn explain_with(report: &ResilientReport, opts: &ExplainOptions) -> String {
             );
             for q in &r.stats {
                 effort.merge(&q.stats.sat);
+                gates_hashconsed += q.stats.gates_hashconsed;
             }
         }
         for p in &prov.passes {
@@ -128,6 +130,7 @@ pub fn explain_with(report: &ResilientReport, opts: &ExplainOptions) -> String {
             );
             for q in &p.stats {
                 effort.merge(&q.stats.sat);
+                gates_hashconsed += q.stats.gates_hashconsed;
             }
         }
         let _ = writeln!(out, "  total            {:>7.2}s wall", report.elapsed.as_secs_f64());
@@ -135,6 +138,15 @@ pub fn explain_with(report: &ResilientReport, opts: &ExplainOptions) -> String {
             out,
             "  search effort: {} conflicts, {} propagations, {} learnt clauses, {} restarts",
             effort.conflicts, effort.propagations, effort.learnt_clauses, effort.restarts,
+        );
+        let _ = writeln!(
+            out,
+            "  simplification: {} vars eliminated, {} clauses subsumed, {} clauses vivified, \
+             {} gates hash-consed",
+            effort.vars_eliminated,
+            effort.clauses_subsumed,
+            effort.clauses_vivified,
+            gates_hashconsed,
         );
     }
 

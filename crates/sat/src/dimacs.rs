@@ -122,4 +122,77 @@ mod tests {
         let assignment: Vec<bool> = (0..2).map(|i| s.model_value(Var(i))).collect();
         assert!(cnf.eval(&assignment));
     }
+
+    #[test]
+    fn export_roundtrip_with_eliminated_gaps() {
+        // Var 2 occurs only as (x ∨ a)(¬x ∨ b): BVE resolves it away, so the
+        // exported CNF has a variable-index gap. The round-tripped formula
+        // must stay equisatisfiable, and the preprocessed solver's
+        // *reconstructed* model must still satisfy the exported clauses.
+        let text = "p cnf 4 4\n3 1 0\n-3 2 0\n1 -2 0\n-1 4 0\n";
+        let cnf = Cnf::parse(text).unwrap();
+        let mut s = Solver::new();
+        // Preprocess at solve entry: this instance is decided long before
+        // the default conflict-count deferral would run a pass.
+        s.set_simplify_config(crate::SimplifyConfig {
+            preprocess_min_conflicts: 0,
+            ..crate::SimplifyConfig::default()
+        });
+        assert!(cnf.load(&mut s));
+        assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Sat);
+        assert!(s.num_eliminated() > 0, "expected BVE to eliminate var 2");
+
+        let exported = s.export_cnf();
+        assert_eq!(exported.num_vars, 4, "gaps keep the variable space intact");
+        let mentioned: std::collections::HashSet<u32> = exported
+            .clauses
+            .iter()
+            .flatten()
+            .map(|l| l.var().0)
+            .collect();
+        assert!(mentioned.len() < 4, "some variable no longer occurs");
+
+        // Textual round-trip: clause-for-clause identical after parsing.
+        // (The header keeps num_vars despite the gap.)
+        let again = Cnf::parse(&exported.to_dimacs()).unwrap();
+        assert_eq!(exported.clauses, again.clauses);
+        assert_eq!(again.num_vars, 4);
+
+        // Equisatisfiable: a fresh solver on the exported CNF agrees.
+        let mut s2 = Solver::new();
+        assert!(again.load(&mut s2));
+        assert_eq!(s2.solve(&Budget::unlimited()), SolveResult::Sat);
+
+        // The original's extended model satisfies the exported clauses too.
+        let model: Vec<bool> = (0..4).map(|i| s.model_value(Var(i))).collect();
+        assert!(exported.eval(&model));
+        assert!(cnf.eval(&model), "reconstruction covers the eliminated var");
+    }
+
+    #[test]
+    fn export_roundtrip_unit_only_instance() {
+        let cnf = Cnf::parse("p cnf 3 3\n1 0\n-2 0\n3 0\n").unwrap();
+        let mut s = Solver::new();
+        assert!(cnf.load(&mut s));
+        assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Sat);
+        let exported = s.export_cnf();
+        // Level-0 assignments come back out as unit clauses.
+        assert!(exported.clauses.iter().all(|c| c.len() == 1));
+        let again = Cnf::parse(&exported.to_dimacs()).unwrap();
+        assert_eq!(exported, again);
+        let model: Vec<bool> = (0..3).map(|i| s.model_value(Var(i))).collect();
+        assert!(again.eval(&model));
+        assert!(model[0] && !model[1] && model[2]);
+    }
+
+    #[test]
+    fn empty_clause_roundtrip_is_unsat() {
+        let cnf = Cnf::parse("p cnf 2 1\n0\n").unwrap();
+        assert_eq!(cnf.clauses, vec![Vec::<Lit>::new()]);
+        let again = Cnf::parse(&cnf.to_dimacs()).unwrap();
+        assert_eq!(cnf.clauses, again.clauses);
+        let mut s = Solver::new();
+        assert!(!cnf.load(&mut s), "empty clause makes add_clause fail");
+        assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Unsat);
+    }
 }

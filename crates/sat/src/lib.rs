@@ -42,5 +42,6 @@ pub mod types;
 
 pub use budget::{Budget, CancelToken, ResourceBudget};
 pub use dimacs::Cnf;
+pub use solver::simplify::SimplifyConfig;
 pub use solver::{SolveResult, Solver, Stats};
 pub use types::{LBool, Lit, Var};

@@ -11,6 +11,10 @@ use crate::failpoints;
 use crate::heap::VarHeap;
 use crate::types::{LBool, Lit, Var};
 
+pub mod simplify;
+
+use simplify::Simp;
+
 /// Outcome of a `solve` call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SolveResult {
@@ -31,6 +35,12 @@ pub struct Stats {
     pub restarts: u64,
     pub learnt_clauses: u64,
     pub deleted_clauses: u64,
+    /// Variables removed by bounded variable elimination (preprocessing).
+    pub vars_eliminated: u64,
+    /// Clauses deleted or strengthened by (self-)subsumption.
+    pub clauses_subsumed: u64,
+    /// Clauses shortened by vivification (inprocessing).
+    pub clauses_vivified: u64,
 }
 
 impl Stats {
@@ -44,6 +54,9 @@ impl Stats {
         self.restarts += other.restarts;
         self.learnt_clauses += other.learnt_clauses;
         self.deleted_clauses += other.deleted_clauses;
+        self.vars_eliminated += other.vars_eliminated;
+        self.clauses_subsumed += other.clauses_subsumed;
+        self.clauses_vivified += other.clauses_vivified;
     }
 }
 
@@ -95,6 +108,9 @@ pub struct Solver {
     cancel_poll_at: u64,
     /// Set by `propagate` when the active token tripped mid-run.
     interrupted: bool,
+    /// Pre/inprocessing state (BVE elimination stack, frozen set,
+    /// vivification cursor); see the [`simplify`] module.
+    simp: Simp,
     stats: Stats,
 }
 
@@ -133,6 +149,7 @@ impl Solver {
             active_cancel: CancelToken::new(),
             cancel_poll_at: CANCEL_POLL_INTERVAL,
             interrupted: false,
+            simp: Simp::new(),
             stats: Stats::default(),
         }
     }
@@ -149,6 +166,7 @@ impl Solver {
         self.assumption_mark.push(LBool::Undef);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.simp.on_new_var();
         self.order.insert(v, &self.activity);
         v
     }
@@ -203,6 +221,13 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        // BVE soundness: a new clause over an eliminated variable invalidates
+        // the elimination — restore the variable's removed clauses first.
+        self.restore_referenced(lits);
+        if !self.ok {
+            return false;
+        }
+        self.simp.note_clause_added(lits);
         let mut ls: Vec<Lit> = lits.to_vec();
         ls.sort_unstable();
         ls.dedup();
@@ -487,7 +512,7 @@ impl Solver {
 
     fn pick_branch_lit(&mut self) -> Option<Lit> {
         while let Some(v) = self.order.pop_max(&self.activity) {
-            if self.value_var(v) == LBool::Undef {
+            if self.value_var(v) == LBool::Undef && !self.simp.is_eliminated(v) {
                 return Some(Lit::new(v, self.saved_phase[v.index()]));
             }
         }
@@ -696,6 +721,13 @@ impl Solver {
         if budget.interrupted() || budget.clause_bytes_exhausted(self.clause_bytes) {
             return SolveResult::Unknown;
         }
+        // Restore any eliminated variables the assumptions mention, then run
+        // the (gated) preprocessing pass. Both can derive a top-level
+        // conflict; both run strictly at decision level 0.
+        self.prepare_solve(assumptions, budget);
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
         for &a in assumptions {
             self.assumption_mark[a.var().index()] = LBool::from_bool(a.is_positive());
         }
@@ -710,6 +742,7 @@ impl Solver {
     /// cleared by the caller on every exit path.
     fn solve_loop(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveResult {
         let mut restarts = 0u64;
+        let start_conflicts = self.stats.conflicts;
         loop {
             if self.reduce_pending {
                 self.reduce_pending = false;
@@ -728,6 +761,34 @@ impl Solver {
                 None => {
                     restarts += 1;
                     self.stats.restarts += 1;
+                    // A preprocessing pass deferred at solve entry runs at
+                    // the first restart after the call has spent enough
+                    // conflicts to prove the query nontrivial.
+                    if self.simp.deferred
+                        && self.stats.conflicts.saturating_sub(start_conflicts)
+                            >= self.simp.cfg.preprocess_min_conflicts
+                    {
+                        self.preprocess_pass(budget);
+                        if !self.ok {
+                            return SolveResult::Unsat;
+                        }
+                        if self.interrupted
+                            || budget.exhausted(self.stats.conflicts, self.stats.propagations)
+                        {
+                            return SolveResult::Unknown;
+                        }
+                    }
+                    if self.simp.should_vivify(self.stats.conflicts) {
+                        self.vivify_round(budget);
+                        if !self.ok {
+                            return SolveResult::Unsat;
+                        }
+                        if self.interrupted
+                            || budget.exhausted(self.stats.conflicts, self.stats.propagations)
+                        {
+                            return SolveResult::Unknown;
+                        }
+                    }
                 }
             }
         }
@@ -808,6 +869,9 @@ impl Solver {
                         Some(l) => l,
                         None => {
                             self.model = self.assigns.clone();
+                            // Reconstruct values for BVE-eliminated variables
+                            // so witnesses survive preprocessing.
+                            self.extend_model();
                             return Some(SolveResult::Sat);
                         }
                     },
@@ -817,6 +881,25 @@ impl Solver {
                 self.assign(next, None);
             }
         }
+    }
+
+    /// Export the live problem clauses (original clauses plus level-0 unit
+    /// facts, not learnt clauses) as DIMACS CNF. After preprocessing the
+    /// numbering has gaps at eliminated variables; callable only between
+    /// solves.
+    pub fn export_cnf(&self) -> crate::dimacs::Cnf {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        let level0 = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        for &l in &self.trail[..level0] {
+            clauses.push(vec![l]);
+        }
+        for c in &self.clauses {
+            if !c.deleted && !c.learnt {
+                clauses.push(c.lits.clone());
+            }
+        }
+        crate::dimacs::Cnf { num_vars: self.num_vars(), clauses }
     }
 
     /// Model value of a variable after a `Sat` answer. Variables untouched by

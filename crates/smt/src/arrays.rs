@@ -131,7 +131,11 @@ impl IncrementalReducer {
         // Ackermann congruence: pair every read discovered by this call with
         // every earlier read of the same base array (and with each other).
         let mut congruence = Vec::new();
-        let arrays: Vec<TermId> = self.base_selects.keys().copied().collect();
+        // Deterministic emission order: hash-map order would permute the
+        // congruence terms (and every TermId allocated for them) from run to
+        // run, which permutes the CNF and with it the witness models.
+        let mut arrays: Vec<TermId> = self.base_selects.keys().copied().collect();
+        arrays.sort_unstable();
         'arrays: for array in arrays {
             let done = self.congruence_done.get(&array).copied().unwrap_or(0);
             let len = self.base_selects[&array].len();

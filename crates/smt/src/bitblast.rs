@@ -13,10 +13,31 @@ use std::collections::HashMap;
 /// plus an atomic load, so it stays off the per-gate path.
 const BUDGET_POLL_INTERVAL: u64 = 256;
 
+/// Structural-hashing key for a Tseitin gate: the kind plus its operand
+/// literals *after* commutativity/polarity normalization, so equivalent
+/// gates anywhere in the circuit share one output variable (AIG-style).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum GateKey {
+    /// Operands sorted ascending.
+    And(Lit, Lit),
+    /// Operands polarity-normalized to positive and sorted; the caller
+    /// re-applies the folded-out negations to the output.
+    Xor(Lit, Lit),
+    /// Condition normalized positive (swapping the branches), then-branch
+    /// normalized positive (negating the output).
+    Mux(Lit, Lit, Lit),
+}
+
 /// Incremental bit-blaster bound to one SAT solver instance.
 pub struct BitBlaster {
     bool_cache: HashMap<TermId, Lit>,
     bv_cache: HashMap<TermId, Vec<Lit>>,
+    /// Structural gate cache. Entries stay valid even across budget aborts:
+    /// the key is the (already-encoded) operand literals and the defining
+    /// clauses are added before insertion, so a hit never depends on state
+    /// an abort could have skipped.
+    gate_cache: HashMap<GateKey, Lit>,
+    gates_hashconsed: u64,
     true_lit: Lit,
     /// Budget honoured during encoding (deadline, cancellation, clause-DB
     /// byte cap). Defaults to unlimited.
@@ -33,11 +54,19 @@ impl BitBlaster {
         BitBlaster {
             bool_cache: HashMap::new(),
             bv_cache: HashMap::new(),
+            gate_cache: HashMap::new(),
+            gates_hashconsed: 0,
             true_lit: t,
             budget: Budget::unlimited(),
             steps: 0,
             aborted: false,
         }
+    }
+
+    /// Number of gate constructions answered from the structural cache
+    /// (each one saved a fresh variable and its defining clauses).
+    pub fn gates_hashconsed(&self) -> u64 {
+        self.gates_hashconsed
     }
 
     /// Honour `budget` while encoding: large circuits (wide multipliers /
@@ -351,10 +380,16 @@ impl BitBlaster {
         if a == !b {
             return self.lit_false();
         }
+        let key = GateKey::And(a.min(b), a.max(b));
+        if let Some(&g) = self.gate_cache.get(&key) {
+            self.gates_hashconsed += 1;
+            return g;
+        }
         let g = self.fresh(solver);
         solver.add_clause(&[!g, a]);
         solver.add_clause(&[!g, b]);
         solver.add_clause(&[g, !a, !b]);
+        self.gate_cache.insert(key, g);
         g
     }
 
@@ -382,12 +417,27 @@ impl BitBlaster {
         if a == !b {
             return self.lit_true();
         }
+        // xor(¬x, y) = ¬xor(x, y): fold operand negations into the output
+        // so all four polarity combinations share one gate.
+        let flip = !a.is_positive() ^ !b.is_positive();
+        let x = if a.is_positive() { a } else { !a };
+        let y = if b.is_positive() { b } else { !b };
+        let key = GateKey::Xor(x.min(y), x.max(y));
+        if let Some(&g) = self.gate_cache.get(&key) {
+            self.gates_hashconsed += 1;
+            return if flip { !g } else { g };
+        }
         let g = self.fresh(solver);
-        solver.add_clause(&[!g, a, b]);
-        solver.add_clause(&[!g, !a, !b]);
-        solver.add_clause(&[g, !a, b]);
-        solver.add_clause(&[g, a, !b]);
-        g
+        solver.add_clause(&[!g, x, y]);
+        solver.add_clause(&[!g, !x, !y]);
+        solver.add_clause(&[g, !x, y]);
+        solver.add_clause(&[g, x, !y]);
+        self.gate_cache.insert(key, g);
+        if flip {
+            !g
+        } else {
+            g
+        }
     }
 
     /// `mux(c, a, b)`: `a` when `c`, else `b`.
@@ -401,11 +451,32 @@ impl BitBlaster {
         if c == self.lit_false() {
             return b;
         }
-        if a == self.lit_true() && b == self.lit_false() {
-            return c;
+        // Constant-branch absorption: collapse to a single AND/OR gate
+        // (which the structural cache then shares).
+        if a == self.lit_true() {
+            return self.or_gate(solver, c, b);
         }
-        if a == self.lit_false() && b == self.lit_true() {
-            return !c;
+        if a == self.lit_false() {
+            return self.and_gate(solver, !c, b);
+        }
+        if b == self.lit_true() {
+            return self.or_gate(solver, !c, a);
+        }
+        if b == self.lit_false() {
+            return self.and_gate(solver, c, a);
+        }
+        // mux(c, a, ¬a) = ¬(c ⊕ a)
+        if a == !b {
+            let x = self.xor_gate(solver, c, a);
+            return !x;
+        }
+        // mux(¬c, a, b) = mux(c, b, a); mux(c, ¬a, ¬b) = ¬mux(c, a, b).
+        let (c, a, b) = if c.is_positive() { (c, a, b) } else { (!c, b, a) };
+        let (a, b, flip) = if a.is_positive() { (a, b, false) } else { (!a, !b, true) };
+        let key = GateKey::Mux(c, a, b);
+        if let Some(&g) = self.gate_cache.get(&key) {
+            self.gates_hashconsed += 1;
+            return if flip { !g } else { g };
         }
         let g = self.fresh(solver);
         solver.add_clause(&[!c, !a, g]);
@@ -415,7 +486,12 @@ impl BitBlaster {
         // Redundant but propagation-strengthening clauses.
         solver.add_clause(&[!a, !b, g]);
         solver.add_clause(&[a, b, !g]);
-        g
+        self.gate_cache.insert(key, g);
+        if flip {
+            !g
+        } else {
+            g
+        }
     }
 
     fn full_adder(&mut self, solver: &mut Solver, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {

@@ -47,8 +47,8 @@ mod solver;
 pub use eval::{Env, Value};
 pub use model::Model;
 pub use pug_sat::failpoints;
-pub use pug_sat::{Budget, CancelToken, ResourceBudget};
+pub use pug_sat::{Budget, CancelToken, ResourceBudget, SimplifyConfig};
 pub use session::{assert_fingerprint, canonical_hash, SolveSession};
-pub use solver::{check, check_detailed, check_valid, CheckStats, SmtResult};
+pub use solver::{check, check_detailed, check_detailed_with, check_valid, CheckStats, SmtResult};
 pub use sort::Sort;
 pub use term::{Ctx, Op, TermId};

@@ -65,7 +65,16 @@ impl Default for SolveSession {
 impl SolveSession {
     /// Fresh session with an empty committed prefix.
     pub fn new() -> SolveSession {
+        SolveSession::with_config(pug_sat::SimplifyConfig::default())
+    }
+
+    /// Fresh session with an explicit SAT pre/inprocessing configuration.
+    /// Assumption guard variables are frozen automatically at each solve, so
+    /// BVE never eliminates a live guard; retired guards become eligible
+    /// once their permanent `¬g` unit is on the trail.
+    pub fn with_config(simplify: pug_sat::SimplifyConfig) -> SolveSession {
         let mut sat = Solver::new();
+        sat.set_simplify_config(simplify);
         let blaster = BitBlaster::new(&mut sat);
         SolveSession {
             sat,
@@ -213,6 +222,7 @@ impl SolveSession {
         }
 
         let t1 = Instant::now();
+        let gates_before = self.blaster.gates_hashconsed();
         self.blaster.set_budget(&qbudget);
         // New Ackermann congruence axioms: permanent.
         for &a in &delta.congruence {
@@ -236,6 +246,7 @@ impl SolveSession {
         stats.blast_time = t1.elapsed();
         stats.cnf_vars = self.sat.num_vars();
         stats.cnf_clauses = self.sat.num_clauses();
+        stats.gates_hashconsed = self.blaster.gates_hashconsed() - gates_before;
         if self.blaster.aborted() {
             // Permanent congruence clauses may be missing — poison.
             self.poisoned = true;
@@ -299,6 +310,9 @@ fn stats_delta(after: Stats, before: Stats) -> Stats {
         restarts: after.restarts.saturating_sub(before.restarts),
         learnt_clauses: after.learnt_clauses.saturating_sub(before.learnt_clauses),
         deleted_clauses: after.deleted_clauses.saturating_sub(before.deleted_clauses),
+        vars_eliminated: after.vars_eliminated.saturating_sub(before.vars_eliminated),
+        clauses_subsumed: after.clauses_subsumed.saturating_sub(before.clauses_subsumed),
+        clauses_vivified: after.clauses_vivified.saturating_sub(before.clauses_vivified),
     }
 }
 

@@ -55,6 +55,9 @@ pub struct CheckStats {
     pub ack_selects: usize,
     /// SAT-solver statistics (per query, even inside a session).
     pub sat: pug_sat::Stats,
+    /// Tseitin gates answered from the blaster's structural cache for this
+    /// query (each hit saved a fresh variable plus its defining clauses).
+    pub gates_hashconsed: u64,
     /// Time spent in array elimination for this query.
     pub reduce_time: std::time::Duration,
     /// Time spent bit-blasting for this query.
@@ -78,6 +81,17 @@ pub fn check_detailed(
     ctx: &mut Ctx,
     assertions: &[TermId],
     budget: &Budget,
+) -> (SmtResult, CheckStats) {
+    check_detailed_with(ctx, assertions, budget, &pug_sat::SimplifyConfig::default())
+}
+
+/// [`check_detailed`] with an explicit SAT pre/inprocessing configuration
+/// (the differential suites run simplification on vs. off through here).
+pub fn check_detailed_with(
+    ctx: &mut Ctx,
+    assertions: &[TermId],
+    budget: &Budget,
+    simplify: &pug_sat::SimplifyConfig,
 ) -> (SmtResult, CheckStats) {
     let mut stats = CheckStats::default();
 
@@ -113,6 +127,7 @@ pub fn check_detailed(
 
     let t1 = std::time::Instant::now();
     let mut sat = Solver::new();
+    sat.set_simplify_config(simplify.clone());
     let mut blaster = BitBlaster::new(&mut sat);
     blaster.set_budget(budget);
     for &a in &reduction.assertions {
@@ -125,6 +140,7 @@ pub fn check_detailed(
     stats.blast_time = t1.elapsed();
     stats.cnf_vars = sat.num_vars();
     stats.cnf_clauses = sat.num_clauses();
+    stats.gates_hashconsed = blaster.gates_hashconsed();
     if blaster.aborted() {
         // The CNF is truncated; solving it would be unsound either way.
         return (SmtResult::Unknown, stats);

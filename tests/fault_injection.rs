@@ -199,6 +199,54 @@ fn concretized_rung_catches_param_fault() {
     assert!(report.provenance.soundness_note.as_deref().unwrap_or("").contains("pinned"));
 }
 
+/// A degradation fault inside SAT preprocessing (`sat::simplify`) aborts
+/// the pass but never the answer: skipping BVE/subsumption/vivification is
+/// always sound, so the Param rung still proves the pair — preprocessing
+/// can stall neither the verdict nor the watchdog.
+#[test]
+fn aborted_preprocessing_still_answers_on_param() {
+    let _scope = FaultScope::armed(&[("sat::simplify", Fault::BudgetExhausted)]);
+    let (naive, _) = transpose_pair();
+    let report =
+        run_resilient(&naive, &naive, &GpuConfig::symbolic_2d(8), &RunnerOptions::default());
+
+    assert_eq!(
+        report.provenance.answered_by,
+        Some(Rung::Param),
+        "{}",
+        report.provenance.render()
+    );
+    assert!(report.verdict.is_verified(), "{}", report.provenance.render());
+    assert!(report.provenance.soundness_note.is_none());
+}
+
+/// A panic inside the preprocessing passes is caught at the rung boundary
+/// exactly like a solver panic: the rung records a crash, the process never
+/// aborts, and any adopted fallback verdict is honestly downgraded.
+#[test]
+fn simplify_panic_is_contained_at_the_rung_boundary() {
+    let _scope = FaultScope::armed(&[("sat::simplify", Fault::Panic)]);
+    let (naive, _) = transpose_pair();
+    let report =
+        run_resilient(&naive, &naive, &GpuConfig::symbolic_2d(8), &RunnerOptions::default());
+
+    assert!(
+        matches!(outcome_of(&report, Rung::Param), RungOutcome::Crashed(_)),
+        "{}",
+        report.provenance.render()
+    );
+    match report.provenance.answered_by {
+        Some(rung) => {
+            assert_ne!(rung, Rung::Param, "{}", report.provenance.render());
+            assert!(report.provenance.soundness_note.is_some());
+            assert!(!report.verdict.is_bug(), "no bug exists in this pair");
+        }
+        None => {
+            assert!(report.verdict.is_timeout(), "{}", report.provenance.render());
+        }
+    }
+}
+
 /// Ladder runs are bounded in wall-clock even when every rung times out:
 /// per-rung watchdog deadlines keep the whole descent under
 /// rungs × (timeout + grace).
