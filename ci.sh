@@ -32,8 +32,17 @@ run_suite "fault-injection smoke (portfolio)" \
 # gated).
 run_suite "perf smoke + regression gate" \
   cargo run --release -p pug-bench --bin repro-tables -- \
-    --bench-json /tmp/bench_pr7_ci.json --quick --timeout 60 \
-    --baseline BENCH_pr7.json
+    --bench-json /tmp/bench_pr8_ci.json --quick --timeout 60 \
+    --baseline BENCH_pr8.json
+# Canonicalization smoke: the differential suite proving normalize-on and
+# normalize-off report the same verdicts and outcome classes on the corpus,
+# plus the cache-effectiveness regression against the pre-normalization
+# baseline (miss counts must not grow, hit rate must improve, and at least
+# one obligation must be discharged by rewriting alone).
+run_suite "normalize smoke" \
+  cargo test -q --test normalize_differential corpus_pairs_agree
+run_suite "cache-effectiveness gate" \
+  cargo test -q -p pug-bench --test cache_effectiveness
 # Observability smoke: one fully traced equivalence check; the JSONL export
 # is re-parsed and the span tree structurally validated (balanced opens and
 # closes, strictly increasing sequence). Non-zero exit on a broken trace.

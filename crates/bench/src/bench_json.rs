@@ -150,6 +150,9 @@ struct ModeMetrics {
     solve: Duration,
     queries: usize,
     cached_queries: usize,
+    /// Obligations the canonicalization pass collapsed to `⊥` — valid
+    /// with zero SAT calls and zero cache traffic.
+    discharged_by_rewrite: usize,
     conflicts: u64,
     clauses_reused: usize,
     cache_hits: usize,
@@ -207,6 +210,9 @@ fn run_mode(spec: &RowSpec, timeout: Duration, incremental: bool) -> ModeMetrics
                 if q.stats.cached {
                     m.cached_queries += 1;
                 }
+                if q.stats.discharged_by_rewrite {
+                    m.discharged_by_rewrite += 1;
+                }
             }
         }
     }
@@ -223,6 +229,7 @@ fn json_mode(out: &mut String, key: &str, m: &ModeMetrics) {
         "    \"{key}\": {{\"verdict\": \"{}\", \"wall_secs\": {:.3}, \
          \"solver_secs\": {:.3}, \"reduce_secs\": {:.3}, \"blast_secs\": {:.3}, \
          \"solve_secs\": {:.3}, \"queries\": {}, \"cached_queries\": {}, \
+         \"discharged_by_rewrite\": {}, \
          \"conflicts\": {}, \"clauses_reused\": {}, \"cache_hits\": {}, \
          \"cache_misses\": {}, \"vars_eliminated\": {}, \"clauses_subsumed\": {}, \
          \"clauses_vivified\": {}, \"gates_hashconsed\": {}}}",
@@ -234,6 +241,7 @@ fn json_mode(out: &mut String, key: &str, m: &ModeMetrics) {
         m.solve.as_secs_f64(),
         m.queries,
         m.cached_queries,
+        m.discharged_by_rewrite,
         m.conflicts,
         m.clauses_reused,
         m.cache_hits,
@@ -329,7 +337,7 @@ pub fn baseline_gate(report: &BenchJsonReport, baseline_json: &str) -> Result<St
 /// Run the incremental-vs-one-shot grid and render it as JSON.
 pub fn bench_json_report(timeout: Duration, quick: bool) -> BenchJsonReport {
     let specs = rows(quick);
-    let mut json = String::from("{\n  \"bench\": \"pr7-sat-simplify\",\n");
+    let mut json = String::from("{\n  \"bench\": \"pr8-normalize\",\n");
     let _ = writeln!(json, "  \"timeout_secs\": {},", timeout.as_secs());
     let _ = writeln!(json, "  \"quick\": {quick},");
     json.push_str("  \"rows\": [\n");

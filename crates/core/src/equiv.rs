@@ -92,6 +92,12 @@ pub struct CheckOptions {
     /// the differential suites turn it off to cross-check verdicts and
     /// witnesses against the plain CDCL path.
     pub simplify: SimplifyConfig,
+    /// Term canonicalization (`pug_smt::normalize`): obligations are
+    /// rewritten to canonical form before fingerprinting and bit-blasting,
+    /// and obligations that collapse to `⊥` are discharged with zero SAT
+    /// calls. On by default; the differential suites turn it off to
+    /// cross-check verdicts against the raw-term path.
+    pub normalize: bool,
 }
 
 impl Default for CheckOptions {
@@ -109,6 +115,7 @@ impl Default for CheckOptions {
             trace: TraceSpan::disabled(),
             metrics: MetricsRegistry::disabled(),
             simplify: SimplifyConfig::default(),
+            normalize: true,
         }
     }
 }
@@ -164,6 +171,13 @@ impl CheckOptions {
     /// Disable SAT pre/inprocessing: queries solve the raw blasted CNF.
     pub fn no_simplify(mut self) -> CheckOptions {
         self.simplify = SimplifyConfig::off();
+        self
+    }
+
+    /// Disable term canonicalization: queries fingerprint and blast the
+    /// raw constructor-built terms.
+    pub fn no_normalize(mut self) -> CheckOptions {
+        self.normalize = false;
         self
     }
 }
@@ -222,6 +236,10 @@ pub(crate) struct Session {
     seg_stack: Vec<TraceSpan>,
     metrics: MetricsRegistry,
     simplify: SimplifyConfig,
+    /// Session-wide canonicalizer (memo keyed on the append-only term DAG,
+    /// so entries stay valid across queries and epochs).
+    norm: pug_smt::normalize::Normalizer,
+    normalize: bool,
 }
 
 /// Internal control flow: `Some` means stop with this verdict.
@@ -276,6 +294,8 @@ impl Session {
             seg_stack: Vec::new(),
             metrics: opts.metrics.clone(),
             simplify: opts.simplify.clone(),
+            norm: pug_smt::normalize::Normalizer::new(),
+            normalize: opts.normalize,
         }
     }
 
@@ -368,6 +388,9 @@ impl Session {
         for &t in terms {
             if self.committed.insert(t) {
                 let c = self.concretize(t);
+                // Commit the *canonical* form: `query` normalizes its delta
+                // the same way, so the subtraction stays consistent.
+                let c = self.canon(c);
                 fresh.push(c);
             }
         }
@@ -390,6 +413,23 @@ impl Session {
         self.ctx.substitute(t, &map)
     }
 
+    /// Canonical form of a (concretized) term, when normalization is on.
+    /// A failpoint-aborted pass (`smt::normalize`) degrades to the raw
+    /// term — sound, since every rule is equivalence-preserving — instead
+    /// of poisoning the session.
+    fn canon(&mut self, t: TermId) -> TermId {
+        if !self.normalize {
+            return t;
+        }
+        match pug_smt::normalize::try_normalize(&mut self.norm, &mut self.ctx, t) {
+            Some(n) => n,
+            None => {
+                self.metrics.incr("normalize.aborted");
+                t
+            }
+        }
+    }
+
     /// Run `premises ⇒ goal` as an UNSAT query, recording statistics.
     ///
     /// Callers always pass the *full* premise set; already-committed
@@ -410,15 +450,49 @@ impl Session {
         for &p in premises {
             let committed = self.committed.contains(&p);
             let c = self.concretize(p);
+            let c = self.canon(c);
             asserts.push(c);
             if !committed {
                 delta.push(c);
             }
         }
         let g = self.concretize(goal);
+        let g = self.canon(g);
         let ng = self.ctx.mk_not(g);
         asserts.push(ng);
         delta.push(ng);
+
+        // Rewrite discharge: canonicalization plus one round of fact
+        // propagation collapsed the obligation to `⊥` — valid, zero SAT
+        // calls, and no cache traffic (re-deriving it is cheaper than a
+        // lookup would be). An armed `smt::check` failpoint disables the
+        // shortcut: injected SMT-layer faults must hit every query, not
+        // just the ones that happen to need the solver.
+        if self.normalize
+            && pug_smt::failpoints::check("smt::check").is_none()
+            && pug_smt::normalize::facts_refute(
+                &mut self.ctx,
+                &asserts[..asserts.len() - 1],
+                ng,
+            )
+        {
+            let duration = started.elapsed();
+            let stats = CheckStats { discharged_by_rewrite: true, ..CheckStats::default() };
+            if let Some(g) = qspan {
+                g.finish(vec![
+                    ("outcome", "valid (rewrite)".into()),
+                    ("us", (duration.as_micros() as u64).into()),
+                ]);
+            }
+            self.observe_query("valid (rewrite)", duration, &stats);
+            self.queries.push(QueryStat {
+                label: label.to_string(),
+                outcome: "valid (rewrite)".into(),
+                duration,
+                stats,
+            });
+            return SmtResult::Unsat;
+        }
 
         // Cross-rung cache: the fingerprint covers the full assert set, so
         // it is identical whichever path (or rung) would solve it.
@@ -428,7 +502,16 @@ impl Session {
             None
         };
         if let (Some(cache), Some(f)) = (&self.cache, fp) {
-            if cache.lookup_unsat(f) {
+            let hit = cache.lookup_unsat(f);
+            if self.metrics.is_enabled() {
+                // Per-lookup monotonic counters: the end-of-run
+                // `cache.publish` gauges are overwritten by whoever
+                // publishes last, so these are the only registry view that
+                // survives shared registries (and the only one at all for
+                // direct in-process checks that never publish).
+                self.metrics.incr(if hit { "cache.lookup_hits" } else { "cache.lookup_misses" });
+            }
+            if hit {
                 let duration = started.elapsed();
                 let stats = CheckStats { cached: true, ..CheckStats::default() };
                 if let Some(g) = qspan {
@@ -492,6 +575,10 @@ impl Session {
         match outcome {
             "valid (cached)" => {
                 m.incr("queries.cached");
+                m.incr("queries.valid");
+            }
+            "valid (rewrite)" => {
+                m.incr("queries.discharged_by_rewrite");
                 m.incr("queries.valid");
             }
             "valid" => m.incr("queries.valid"),

@@ -100,6 +100,7 @@ pub fn explain_with(report: &ResilientReport, opts: &ExplainOptions) -> String {
         let _ = writeln!(out, "\nbudget:");
         let mut effort = pug_sat::Stats::default();
         let mut gates_hashconsed: u64 = 0;
+        let mut rewrite_discharged: u64 = 0;
         for r in &prov.rungs {
             if matches!(r.outcome, RungOutcome::Skipped(_)) {
                 continue;
@@ -116,6 +117,7 @@ pub fn explain_with(report: &ResilientReport, opts: &ExplainOptions) -> String {
             for q in &r.stats {
                 effort.merge(&q.stats.sat);
                 gates_hashconsed += q.stats.gates_hashconsed;
+                rewrite_discharged += u64::from(q.stats.discharged_by_rewrite);
             }
         }
         for p in &prov.passes {
@@ -131,6 +133,7 @@ pub fn explain_with(report: &ResilientReport, opts: &ExplainOptions) -> String {
             for q in &p.stats {
                 effort.merge(&q.stats.sat);
                 gates_hashconsed += q.stats.gates_hashconsed;
+                rewrite_discharged += u64::from(q.stats.discharged_by_rewrite);
             }
         }
         let _ = writeln!(out, "  total            {:>7.2}s wall", report.elapsed.as_secs_f64());
@@ -147,6 +150,10 @@ pub fn explain_with(report: &ResilientReport, opts: &ExplainOptions) -> String {
             effort.clauses_subsumed,
             effort.clauses_vivified,
             gates_hashconsed,
+        );
+        let _ = writeln!(
+            out,
+            "  canonicalization: {rewrite_discharged} obligations discharged by rewriting",
         );
     }
 
@@ -191,12 +198,16 @@ fn count_queries(n: usize) -> String {
 /// Group query stats by label family (the prefix before `[`/`(`) and
 /// tally outcomes. Cache hits count as `valid` — cachedness is a
 /// performance detail, and folding it keeps the table deterministic.
+/// Rewrite discharges also count as `valid`, but are surfaced even in
+/// stable mode: which obligations collapse under canonicalization is a
+/// deterministic property of the encoding, not of timing.
 fn family_table(stats: &[QueryStat], opts: &ExplainOptions) -> String {
     #[derive(Default)]
     struct Tally {
         total: usize,
         valid: usize,
         cached: usize,
+        rewrite: usize,
         cex: usize,
         timeout: usize,
     }
@@ -215,6 +226,10 @@ fn family_table(stats: &[QueryStat], opts: &ExplainOptions) -> String {
             "valid (cached)" => {
                 t.valid += 1;
                 t.cached += 1;
+            }
+            "valid (rewrite)" => {
+                t.valid += 1;
+                t.rewrite += 1;
             }
             "counterexample" => t.cex += 1,
             _ => t.timeout += 1,
@@ -237,6 +252,9 @@ fn family_table(stats: &[QueryStat], opts: &ExplainOptions) -> String {
             }
             parts.join(", ")
         };
+        if t.rewrite > 0 {
+            let _ = write!(story, " ({} discharged by rewriting)", t.rewrite);
+        }
         if opts.show_times && t.cached > 0 {
             let _ = write!(story, " ({} cached)", t.cached);
         }

@@ -258,6 +258,9 @@ pub struct RunnerOptions {
     /// conflicts, global-memory coalescing) on the target kernel once the
     /// ladder resolves, attaching their query statistics to the provenance.
     pub aux_passes: bool,
+    /// Term canonicalization (`pug_smt::normalize`) on every rung and aux
+    /// pass. On by default; differential suites turn it off.
+    pub normalize: bool,
 }
 
 impl Default for RunnerOptions {
@@ -273,6 +276,7 @@ impl Default for RunnerOptions {
             trace: TraceSink::disabled(),
             metrics: MetricsRegistry::disabled(),
             aux_passes: false,
+            normalize: true,
         }
     }
 }
@@ -488,6 +492,7 @@ pub(crate) fn dispatch_rung(
     check_opts.max_clause_bytes = opts.max_clause_bytes;
     check_opts.max_term_nodes = opts.max_term_nodes;
     check_opts.query_cache = opts.query_cache.clone();
+    check_opts.normalize = opts.normalize;
     match rung {
         Rung::Param => check_equivalence_param(src, tgt, cfg, &check_opts),
         Rung::ParamConcretized => {
@@ -694,6 +699,11 @@ pub(crate) fn run_aux_passes(
             max_term_nodes: opts.max_term_nodes,
             trace: span.clone(),
             metrics: opts.metrics.clone(),
+            // Aux passes share the run's cache and canonicalization policy:
+            // their obligations fingerprint the same way, so the registry's
+            // per-lookup counters cover every query of the run.
+            query_cache: opts.query_cache.clone(),
+            normalize: opts.normalize,
             ..CheckOptions::default()
         };
         let started = Instant::now();

@@ -19,23 +19,26 @@ fn boot(cfg: &ServeConfig) -> ServerHandle {
 }
 
 /// A deterministically *heavy* job: proving 32-bit multiplication
-/// associativity is a classically hard SAT instance (minutes, not
+/// distributivity is a classically hard SAT instance (minutes, not
 /// milliseconds), so this job reliably stays in flight until cancelled.
+/// Distributivity — unlike associativity or commutativity — is *not* an
+/// AC rearrangement, so the canonicalization pass cannot discharge it by
+/// rewriting and the obligation genuinely reaches the SAT solver.
 /// The generous `timeout_ms` keeps the per-rung watchdog out of the way.
 fn heavy_request(id: &str) -> Json {
     const SRC: &str = r#"
-__global__ void mulAssoc(int *d, int *a, int *b, int *c, int n) {
+__global__ void mulDist(int *d, int *a, int *b, int *c, int n) {
     int i = blockIdx.x * blockDim.x + threadIdx.x;
     if (i < n) {
-        d[i] = (a[i] * b[i]) * c[i];
+        d[i] = (a[i] + b[i]) * c[i];
     }
 }
 "#;
     const TGT: &str = r#"
-__global__ void mulAssoc(int *d, int *a, int *b, int *c, int n) {
+__global__ void mulDist(int *d, int *a, int *b, int *c, int n) {
     int i = blockIdx.x * blockDim.x + threadIdx.x;
     if (i < n) {
-        d[i] = a[i] * (b[i] * c[i]);
+        d[i] = a[i] * c[i] + b[i] * c[i];
     }
 }
 "#;

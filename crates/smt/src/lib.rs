@@ -37,6 +37,7 @@ pub mod arrays;
 pub mod bitblast;
 pub mod eval;
 pub mod model;
+pub mod normalize;
 pub mod session;
 pub mod smtlib;
 pub mod sort;
@@ -46,6 +47,7 @@ mod solver;
 
 pub use eval::{Env, Value};
 pub use model::Model;
+pub use normalize::Normalizer;
 pub use pug_sat::failpoints;
 pub use pug_sat::{Budget, CancelToken, ResourceBudget, SimplifyConfig};
 pub use session::{assert_fingerprint, canonical_hash, SolveSession};

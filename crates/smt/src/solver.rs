@@ -66,6 +66,9 @@ pub struct CheckStats {
     pub solve_time: std::time::Duration,
     /// Answer came from the cross-rung query cache — no solving at all.
     pub cached: bool,
+    /// Obligation collapsed to `⊥` under canonicalization + fact
+    /// propagation (`pug_smt::normalize`) — valid with zero SAT calls.
+    pub discharged_by_rewrite: bool,
     /// Clauses already in the solver when the query began (incremental
     /// prefix + learned clauses inherited from earlier obligations).
     pub clauses_reused: usize,

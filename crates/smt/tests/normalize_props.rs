@@ -1,0 +1,424 @@
+//! Property-based tests of the canonicalization pass (`pug_smt::normalize`).
+//!
+//! Every rule family — AC chains, constant folding / strength reduction,
+//! `ite` normalization, store-chain normalization — is fuzzed against the
+//! reference interpreter in `pug_smt::eval`: for ≥200 random well-sorted
+//! terms per family, the canonical form must (1) evaluate identically to
+//! the input under random assignments, (2) be a fixpoint of the pass
+//! (idempotence), and (3) coincide for commuted/reassociated/permuted
+//! twins of the same term.
+
+use pug_smt::eval::eval;
+use pug_smt::normalize::normalize;
+use pug_smt::{Ctx, Env, Sort, TermId, Value};
+use pug_testutil::TestRng;
+use std::collections::HashMap;
+
+const W: u32 = 8;
+const CASES: u32 = 256; // per rule family — the issue floor is 200
+const ENVS: usize = 4; // random assignments checked per term
+
+/// The fixed variable pool every fuzzed term draws from.
+struct Vars {
+    bv: Vec<TermId>,
+    bools: Vec<TermId>,
+    arr: TermId,
+}
+
+fn mk_vars(ctx: &mut Ctx) -> Vars {
+    Vars {
+        bv: (0..4).map(|i| ctx.mk_var(&format!("v{i}"), Sort::BitVec(W))).collect(),
+        bools: (0..3).map(|i| ctx.mk_var(&format!("p{i}"), Sort::Bool)).collect(),
+        arr: ctx.mk_var("a", Sort::Array { index: W, elem: W }),
+    }
+}
+
+/// A complete random assignment for the pool (eval panics on unbound vars).
+fn random_env(rng: &mut TestRng, vars: &Vars) -> Env {
+    let mut env = Env::new();
+    for &v in &vars.bv {
+        env.insert(v, Value::Bv(rng.gen_u64() & 0xff, W));
+    }
+    for &p in &vars.bools {
+        env.insert(p, Value::Bool(rng.gen_bool(0.5)));
+    }
+    let mut entries = HashMap::new();
+    for _ in 0..4 {
+        entries.insert(rng.gen_u64() & 0xff, rng.gen_u64() & 0xff);
+    }
+    env.insert(
+        vars.arr,
+        Value::Array { entries, default: rng.gen_u64() & 0xff, index_width: W, elem_width: W },
+    );
+    env
+}
+
+/// The two core properties every rule family must satisfy: the canonical
+/// form is semantically identical under random assignments, and it is a
+/// fixpoint of the pass. Returns the canonical form for twin checks.
+fn check_sound_and_idempotent(
+    ctx: &mut Ctx,
+    t: TermId,
+    vars: &Vars,
+    rng: &mut TestRng,
+    case: u32,
+) -> TermId {
+    let n = normalize(ctx, t);
+    let n2 = normalize(ctx, n);
+    assert_eq!(n, n2, "case {case}: normalize must be idempotent");
+    for _ in 0..ENVS {
+        let env = random_env(rng, vars);
+        assert_eq!(
+            eval(ctx, t, &env),
+            eval(ctx, n, &env),
+            "case {case}: canonical form changed the term's value"
+        );
+    }
+    n
+}
+
+/// Random right-to-left association of `items` under an AC operator —
+/// each call picks a different grouping of the same operand list.
+fn fold_random(ctx: &mut Ctx, rng: &mut TestRng, op: u32, items: &[TermId]) -> TermId {
+    if items.len() == 1 {
+        return items[0];
+    }
+    let split = rng.gen_range(1..items.len());
+    let l = fold_random(ctx, rng, op, &items[..split]);
+    let r = fold_random(ctx, rng, op, &items[split..]);
+    apply_bv_ac(ctx, op, l, r)
+}
+
+fn apply_bv_ac(ctx: &mut Ctx, op: u32, a: TermId, b: TermId) -> TermId {
+    match op {
+        0 => ctx.mk_bv_add(a, b),
+        1 => ctx.mk_bv_mul(a, b),
+        2 => ctx.mk_bv_and(a, b),
+        3 => ctx.mk_bv_or(a, b),
+        _ => ctx.mk_bv_xor(a, b),
+    }
+}
+
+/// Fisher–Yates on the deterministic test rng.
+fn shuffle(rng: &mut TestRng, items: &mut [TermId]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+// --- Rule family 1: AC chains --------------------------------------------
+
+/// Permuted + reassociated bit-vector AC chains normalize to one node and
+/// keep their value.
+#[test]
+fn ac_bv_twins_share_canonical_form() {
+    let mut rng = TestRng::seed_from_u64(0xac_b1);
+    for case in 0..CASES {
+        let mut ctx = Ctx::new();
+        let vars = mk_vars(&mut ctx);
+        let op = rng.gen_range(0u32..5);
+        let n_leaves = rng.gen_range(3usize..=6);
+        let mut leaves: Vec<TermId> = (0..n_leaves)
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    ctx.mk_bv_const(rng.gen_u64() & 0xff, W)
+                } else {
+                    vars.bv[rng.gen_range(0..vars.bv.len())]
+                }
+            })
+            .collect();
+        let a = fold_random(&mut ctx, &mut rng, op, &leaves);
+        shuffle(&mut rng, &mut leaves);
+        let b = fold_random(&mut ctx, &mut rng, op, &leaves);
+        let na = check_sound_and_idempotent(&mut ctx, a, &vars, &mut rng, case);
+        let nb = check_sound_and_idempotent(&mut ctx, b, &vars, &mut rng, case);
+        assert_eq!(na, nb, "case {case}: twins must share one canonical form (op {op})");
+    }
+}
+
+/// Same property for the Boolean AC operators (`∧ ∨ ⊕`).
+#[test]
+fn ac_bool_twins_share_canonical_form() {
+    let mut rng = TestRng::seed_from_u64(0xac_b001);
+    for case in 0..CASES {
+        let mut ctx = Ctx::new();
+        let vars = mk_vars(&mut ctx);
+        let op = rng.gen_range(0u32..3);
+        let n_leaves = rng.gen_range(3usize..=6);
+        let mut leaves: Vec<TermId> = (0..n_leaves)
+            .map(|_| {
+                let p = vars.bools[rng.gen_range(0..vars.bools.len())];
+                if rng.gen_bool(0.3) {
+                    ctx.mk_not(p)
+                } else {
+                    p
+                }
+            })
+            .collect();
+        let fold = |ctx: &mut Ctx, rng: &mut TestRng, items: &[TermId]| -> TermId {
+            let mut acc = items[0];
+            for &l in &items[1..] {
+                acc = match op {
+                    0 => ctx.mk_and(acc, l),
+                    1 => ctx.mk_or(acc, l),
+                    _ => ctx.mk_xor(acc, l),
+                };
+                let _ = rng; // grouping is linear here; permutation is the twin
+            }
+            acc
+        };
+        let a = fold(&mut ctx, &mut rng, &leaves);
+        shuffle(&mut rng, &mut leaves);
+        let b = fold(&mut ctx, &mut rng, &leaves);
+        let na = check_sound_and_idempotent(&mut ctx, a, &vars, &mut rng, case);
+        let nb = check_sound_and_idempotent(&mut ctx, b, &vars, &mut rng, case);
+        assert_eq!(na, nb, "case {case}: boolean twins must share one canonical form (op {op})");
+    }
+}
+
+// --- Rule family 2: constant folding / strength reduction ----------------
+
+/// Constant-heavy random expressions stay semantically identical under
+/// normalization, and chains whose operands are all constants collapse to
+/// a literal.
+#[test]
+fn const_folding_preserves_value_and_closes() {
+    let mut rng = TestRng::seed_from_u64(0xc0_157);
+    for case in 0..CASES {
+        let mut ctx = Ctx::new();
+        let vars = mk_vars(&mut ctx);
+        // Random expression over {+ * & | ^ << - ¬} with ~60% constant leaves.
+        let t = arb_bv_expr(&mut ctx, &mut rng, &vars, 4, 0.6);
+        check_sound_and_idempotent(&mut ctx, t, &vars, &mut rng, case);
+
+        // Fully-constant chains must fold to a single literal.
+        let op = rng.gen_range(0u32..5);
+        let consts: Vec<TermId> =
+            (0..rng.gen_range(3usize..=5)).map(|_| ctx.mk_bv_const(rng.gen_u64() & 0xff, W)).collect();
+        let chain = fold_random(&mut ctx, &mut rng, op, &consts);
+        let n = normalize(&mut ctx, chain);
+        assert!(
+            ctx.const_bv(n).is_some(),
+            "case {case}: all-constant chain must fold to a literal"
+        );
+    }
+}
+
+/// `x * 2ⁿ` and `x << n` share a canonical form (strength reduction),
+/// wherever the multiplication sits in a larger chain.
+#[test]
+fn strength_reduction_is_canonical() {
+    let mut rng = TestRng::seed_from_u64(0x57_0e26);
+    for case in 0..CASES {
+        let mut ctx = Ctx::new();
+        let vars = mk_vars(&mut ctx);
+        let x = vars.bv[rng.gen_range(0..vars.bv.len())];
+        let y = vars.bv[rng.gen_range(0..vars.bv.len())];
+        let sh = rng.gen_range(1u64..4);
+        let pw = ctx.mk_bv_const(1 << sh, W);
+        let shc = ctx.mk_bv_const(sh, W);
+        let mul = ctx.mk_bv_mul(x, pw);
+        let shl = ctx.mk_bv_shl(x, shc);
+        let a = ctx.mk_bv_add(mul, y);
+        let b = ctx.mk_bv_add(y, shl);
+        let na = check_sound_and_idempotent(&mut ctx, a, &vars, &mut rng, case);
+        let nb = check_sound_and_idempotent(&mut ctx, b, &vars, &mut rng, case);
+        assert_eq!(na, nb, "case {case}: x*{} and x<<{sh} must canonicalize together", 1u64 << sh);
+    }
+}
+
+fn arb_bv_expr(ctx: &mut Ctx, rng: &mut TestRng, vars: &Vars, depth: usize, p_const: f64) -> TermId {
+    if depth == 0 || rng.gen_bool(0.25) {
+        return if rng.gen_bool(p_const) {
+            ctx.mk_bv_const(rng.gen_u64() & 0xff, W)
+        } else {
+            vars.bv[rng.gen_range(0..vars.bv.len())]
+        };
+    }
+    let a = arb_bv_expr(ctx, rng, vars, depth - 1, p_const);
+    let b = arb_bv_expr(ctx, rng, vars, depth - 1, p_const);
+    match rng.gen_range(0u32..8) {
+        0 => ctx.mk_bv_add(a, b),
+        1 => ctx.mk_bv_mul(a, b),
+        2 => ctx.mk_bv_and(a, b),
+        3 => ctx.mk_bv_or(a, b),
+        4 => ctx.mk_bv_xor(a, b),
+        5 => ctx.mk_bv_shl(a, b),
+        6 => ctx.mk_bv_sub(a, b),
+        _ => ctx.mk_bv_not(a),
+    }
+}
+
+// --- Rule family 3: ite normalization ------------------------------------
+
+/// `ite(¬c, a, b)` and `ite(c, b, a)` share a canonical form, including
+/// when nested, and normalization never changes the selected value.
+#[test]
+fn ite_polarity_twins_share_canonical_form() {
+    let mut rng = TestRng::seed_from_u64(0x17e);
+    for case in 0..CASES {
+        let mut ctx = Ctx::new();
+        let vars = mk_vars(&mut ctx);
+        // A random (possibly nested) ite with a randomly-negated condition.
+        let (a, b) = build_ite_twins(&mut ctx, &mut rng, &vars, 2);
+        let na = check_sound_and_idempotent(&mut ctx, a, &vars, &mut rng, case);
+        let nb = check_sound_and_idempotent(&mut ctx, b, &vars, &mut rng, case);
+        assert_eq!(na, nb, "case {case}: polarity twins must share one canonical form");
+    }
+}
+
+/// Build `ite(¬c, x, y)` and its flipped twin `ite(c, y, x)` where the
+/// branches themselves recursively contain twinned ites.
+fn build_ite_twins(
+    ctx: &mut Ctx,
+    rng: &mut TestRng,
+    vars: &Vars,
+    depth: usize,
+) -> (TermId, TermId) {
+    let (x, x2, y, y2) = if depth > 0 && rng.gen_bool(0.5) {
+        let (x, x2) = build_ite_twins(ctx, rng, vars, depth - 1);
+        let (y, y2) = build_ite_twins(ctx, rng, vars, depth - 1);
+        (x, x2, y, y2)
+    } else {
+        let x = vars.bv[rng.gen_range(0..vars.bv.len())];
+        let y = if rng.gen_bool(0.3) {
+            ctx.mk_bv_const(rng.gen_u64() & 0xff, W)
+        } else {
+            vars.bv[rng.gen_range(0..vars.bv.len())]
+        };
+        (x, x, y, y)
+    };
+    let c = vars.bools[rng.gen_range(0..vars.bools.len())];
+    let nc = ctx.mk_not(c);
+    if rng.gen_bool(0.5) {
+        (ctx.mk_ite(nc, x, y), ctx.mk_ite(c, y2, x2))
+    } else {
+        (ctx.mk_ite(c, x, y), ctx.mk_ite(nc, y2, x2))
+    }
+}
+
+// --- Rule family 4: store-chain normalization ----------------------------
+
+/// Random store chains: permuting distinct constant-address writes and
+/// shadowing earlier writes to the same address both normalize away, and
+/// a `select` over the chain reads the same value before and after.
+#[test]
+fn store_chain_twins_share_canonical_form() {
+    let mut rng = TestRng::seed_from_u64(0x5702e);
+    for case in 0..CASES {
+        let mut ctx = Ctx::new();
+        let vars = mk_vars(&mut ctx);
+
+        // Innermost-first write list: constant addresses (sortable), one
+        // optional symbolic barrier, occasional shadowing duplicates.
+        let n_writes = rng.gen_range(3usize..=6);
+        let mut writes: Vec<(TermId, TermId)> = Vec::new();
+        for _ in 0..n_writes {
+            let addr = if rng.gen_bool(0.2) {
+                vars.bv[rng.gen_range(0..vars.bv.len())]
+            } else {
+                ctx.mk_bv_const(rng.gen_range(0u64..4), W)
+            };
+            let val = if rng.gen_bool(0.5) {
+                ctx.mk_bv_const(rng.gen_u64() & 0xff, W)
+            } else {
+                vars.bv[rng.gen_range(0..vars.bv.len())]
+            };
+            writes.push((addr, val));
+        }
+
+        // Twin: swap one adjacent pair of *distinct constant* addresses —
+        // the only reorder the pass itself is allowed to perform.
+        let mut twin = writes.clone();
+        for i in 0..twin.len() - 1 {
+            let (a0, a1) = (twin[i].0, twin[i + 1].0);
+            match (ctx.const_bv(a0), ctx.const_bv(a1)) {
+                (Some(c0), Some(c1)) if c0 != c1 => {
+                    twin.swap(i, i + 1);
+                    break;
+                }
+                _ => {}
+            }
+        }
+
+        let chain = |ctx: &mut Ctx, ws: &[(TermId, TermId)]| -> TermId {
+            let mut acc = vars.arr;
+            for &(i, v) in ws {
+                acc = ctx.mk_store(acc, i, v);
+            }
+            acc
+        };
+        let a = chain(&mut ctx, &writes);
+        let b = chain(&mut ctx, &twin);
+
+        // Compare through a select so the family is bv-valued for eval.
+        let j = vars.bv[rng.gen_range(0..vars.bv.len())];
+        let ra = ctx.mk_select(a, j);
+        let rb = ctx.mk_select(b, j);
+        let na = check_sound_and_idempotent(&mut ctx, ra, &vars, &mut rng, case);
+        let nb = check_sound_and_idempotent(&mut ctx, rb, &vars, &mut rng, case);
+        assert_eq!(na, nb, "case {case}: store twins must share one canonical form");
+
+        // The array chain itself also canonicalizes soundly: its canonical
+        // form reads identically at every probed index.
+        let nchain = normalize(&mut ctx, a);
+        for _ in 0..ENVS {
+            let env = random_env(&mut rng, &vars);
+            let idx = rng.gen_u64() & 0xff;
+            let i = ctx.mk_bv_const(idx, W);
+            let before = ctx.mk_select(a, i);
+            let after = ctx.mk_select(nchain, i);
+            assert_eq!(
+                eval(&ctx, before, &env),
+                eval(&ctx, after, &env),
+                "case {case}: canonical chain must read identically at {idx}"
+            );
+        }
+    }
+}
+
+/// An outer write to the same syntactic address shadows the inner one:
+/// the canonical chain is strictly shorter and still reads identically.
+#[test]
+fn shadowed_writes_are_eliminated() {
+    let mut rng = TestRng::seed_from_u64(0x5ad0);
+    for case in 0..CASES {
+        let mut ctx = Ctx::new();
+        let vars = mk_vars(&mut ctx);
+        let addr = ctx.mk_bv_const(rng.gen_range(0u64..4), W);
+        let v1 = ctx.mk_bv_const(rng.gen_u64() & 0xff, W);
+        let v2 = ctx.mk_bv_const(rng.gen_u64() & 0xff, W);
+        let mid = if rng.gen_bool(0.5) {
+            let other = ctx.mk_bv_const(4 + rng.gen_range(0u64..4), W);
+            let ov = vars.bv[rng.gen_range(0..vars.bv.len())];
+            let s = ctx.mk_store(vars.arr, addr, v1);
+            ctx.mk_store(s, other, ov)
+        } else {
+            ctx.mk_store(vars.arr, addr, v1)
+        };
+        let t = ctx.mk_store(mid, addr, v2);
+        let n = normalize(&mut ctx, t);
+        assert!(
+            store_depth(&ctx, n) < store_depth(&ctx, t),
+            "case {case}: the shadowed write must be dropped"
+        );
+        for _ in 0..ENVS {
+            let env = random_env(&mut rng, &vars);
+            let idx = rng.gen_u64() & 0xff;
+            let i = ctx.mk_bv_const(idx, W);
+            let before = ctx.mk_select(t, i);
+            let after = ctx.mk_select(n, i);
+            assert_eq!(eval(&ctx, before, &env), eval(&ctx, after, &env), "case {case}");
+        }
+    }
+}
+
+fn store_depth(ctx: &Ctx, mut t: TermId) -> usize {
+    let mut d = 0;
+    while matches!(ctx.op(t), pug_smt::Op::Store) {
+        d += 1;
+        t = ctx.args(t)[0];
+    }
+    d
+}

@@ -12,6 +12,11 @@
 //! * `queries.valid + queries.counterexample + queries.timeout` ==
 //!   `queries.total` (a cache hit counts as valid), and
 //!   `queries.cached <= queries.valid`;
+//! * the per-lookup cache counters close the loop in-process:
+//!   `cache.lookup_hits == queries.cached` and every non-discharged query
+//!   performs exactly one lookup —
+//!   `cache.lookup_hits + cache.lookup_misses ==
+//!    queries.total − queries.discharged_by_rewrite`;
 //! * rung-outcome counters sum to the number of rung records.
 
 use pug_obs::{validate, EventKind, MetricsRegistry, TraceSink};
@@ -93,6 +98,21 @@ fn metrics_agree_with_trace_and_provenance_on_fuzzed_runs() {
         let cached = snap.counter("queries.cached");
         assert_eq!(total, valid + cex + timeout, "{name}: outcome counters do not partition");
         assert!(cached <= valid, "{name}: cached > valid");
+
+        // Per-lookup cache counters (the runner shares one QueryCache with
+        // every rung and aux pass, so these are wired for the whole run):
+        // a hit is exactly a `valid (cached)` outcome, and every query
+        // that was not discharged by rewriting does exactly one lookup.
+        let hits = snap.counter("cache.lookup_hits");
+        let misses = snap.counter("cache.lookup_misses");
+        let discharged = snap.counter("queries.discharged_by_rewrite");
+        assert_eq!(hits, cached, "{name}: cache.lookup_hits != queries.cached");
+        assert!(discharged <= valid, "{name}: discharged > valid");
+        assert_eq!(
+            hits + misses,
+            total - discharged,
+            "{name}: lookups do not cover the non-discharged queries\n{text}"
+        );
 
         // Rung-outcome counters cover every ladder record.
         let rung_total: u64 = [
