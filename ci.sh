@@ -25,15 +25,24 @@ run_suite "fault-injection smoke (sequential)" \
   cargo run --release -p pug-bench --bin repro-tables -- --fault-injection --timeout 20
 run_suite "fault-injection smoke (portfolio)" \
   cargo run --release -p pug-bench --bin repro-tables -- --portfolio --fault-injection
-# Incremental-vs-one-shot perf smoke: runs multi-obligation equivalence rows
-# through both backends, exits non-zero if any verdict diverges, and gates
-# each row's wall time against the committed baseline (>10% + 50 ms slack
-# counts as a regression; rows absent from the quick grid are reported, not
-# gated).
+# Perf smoke: runs multi-obligation equivalence rows through the
+# incremental, one-shot, and pooled (obligation parallelism 4) backends,
+# exits non-zero if any verdict diverges across the three, and gates each
+# row's incremental wall time against the committed baseline (>10% + 50 ms
+# slack counts as a regression; rows absent from the quick grid are
+# reported, not gated).
 run_suite "perf smoke + regression gate" \
   cargo run --release -p pug-bench --bin repro-tables -- \
-    --bench-json /tmp/bench_pr8_ci.json --quick --timeout 60 \
-    --baseline BENCH_pr8.json
+    --bench-json /tmp/bench_pr9_ci.json --quick --timeout 60 \
+    --baseline BENCH_pr9.json
+# Obligation-parallel smoke: the differential suite proving the pooled
+# per-array screen is bit-identical to the sequential loop — corpus pairs
+# at pool widths 2 and 8 on both backends, plus the engagement check that
+# a multi-output pair actually forks worker sessions (and that a decisive
+# screen falls back to the sequential answer).
+run_suite "obligation-parallel smoke" \
+  cargo test -q --test obligation_parallel_differential -- \
+    pooled_matches_sequential_on_corpus pooled_screen_engages_and_merges_deterministically
 # Canonicalization smoke: the differential suite proving normalize-on and
 # normalize-off report the same verdicts and outcome classes on the corpus,
 # plus the cache-effectiveness regression against the pre-normalization
@@ -48,9 +57,10 @@ run_suite "cache-effectiveness gate" \
 # closes, strictly increasing sequence). Non-zero exit on a broken trace.
 run_suite "trace smoke" \
   cargo run --release -p pug-bench --bin repro-tables -- --trace /tmp/pug_trace_ci.jsonl
-# Service smoke: starts the pug-serve daemon on an ephemeral port, runs
-# corpus jobs over the wire (including one with an armed runner failpoint),
-# asserts verdicts byte-identical to the in-process runner, checks the
+# Service smoke: starts the pug-serve daemon on an ephemeral port with
+# per-job obligation parallelism 2 (weighted admission), runs corpus jobs
+# over the wire (including one with an armed runner failpoint), asserts
+# verdicts byte-identical to the sequential in-process runner, checks the
 # /metrics endpoint, and times a graceful shutdown. Non-zero exit on any
 # disagreement or a dirty drain.
 run_suite "serve smoke" \

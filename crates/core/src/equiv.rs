@@ -33,13 +33,17 @@ use pug_ir::{
     align_headers, normalize_header, split_bis, Alignment, BoundConfig, GpuConfig, LoopSpace,
     Segment,
 };
-use crate::portfolio::QueryCache;
-use pug_obs::{MetricsRegistry, TraceSpan};
+use crate::portfolio::{QueryCache, WorkerPool};
+use pug_obs::{MetricsRegistry, MetricsSnapshot, TraceSpan};
 use pug_smt::{
-    assert_fingerprint, check_detailed_with, Budget, CancelToken, CheckStats, Ctx, Op,
+    assert_fingerprint, check_detailed_with, Budget, CancelToken, CheckStats, Ctx, LearntRing, Op,
     SimplifyConfig, SmtResult, SolveSession, Sort, TermId,
 };
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Checking mode (paper §IV-A / §IV-D).
@@ -98,6 +102,22 @@ pub struct CheckOptions {
     /// calls. On by default; the differential suites turn it off to
     /// cross-check verdicts against the raw-term path.
     pub normalize: bool,
+    /// Intra-rung obligation parallelism: how many pooled [`SolveSession`]
+    /// workers race the per-array obligations of one region comparison.
+    /// `0` (the default) resolves to the machine's available parallelism;
+    /// the effective width is always capped at the number of output
+    /// arrays, and widths below two take the plain sequential path. The
+    /// pooled path screens the arrays concurrently and, on any decisive
+    /// outcome (bug, timeout, error), discards the screen and re-runs the
+    /// sequential loop — so verdicts, witnesses and provenance are
+    /// bit-identical to `sequential()` by construction.
+    pub obligation_parallelism: usize,
+    /// Bounded learnt-clause exchange between pooled workers: short
+    /// prefix-only learnts are published to a shared ring and imported at
+    /// restart boundaries. Only affects solver-internal effort on the
+    /// pooled screen (never verdicts — see DESIGN.md §5). On by default;
+    /// meaningless when the check is sequential or one-shot.
+    pub learnt_exchange: bool,
 }
 
 impl Default for CheckOptions {
@@ -116,6 +136,8 @@ impl Default for CheckOptions {
             metrics: MetricsRegistry::disabled(),
             simplify: SimplifyConfig::default(),
             normalize: true,
+            obligation_parallelism: 0,
+            learnt_exchange: true,
         }
     }
 }
@@ -180,6 +202,25 @@ impl CheckOptions {
         self.normalize = false;
         self
     }
+
+    /// Force the plain sequential obligation loop (the escape hatch for
+    /// debugging and differential testing the pooled path against).
+    pub fn sequential(mut self) -> CheckOptions {
+        self.obligation_parallelism = 1;
+        self
+    }
+
+    /// Pin the obligation pool width (`0` = auto-detect from the machine).
+    pub fn with_obligation_parallelism(mut self, n: usize) -> CheckOptions {
+        self.obligation_parallelism = n;
+        self
+    }
+
+    /// Disable learnt-clause exchange between pooled workers.
+    pub fn without_learnt_exchange(mut self) -> CheckOptions {
+        self.learnt_exchange = false;
+        self
+    }
 }
 
 /// Statistics of one SMT query issued during a check.
@@ -240,6 +281,51 @@ pub(crate) struct Session {
     /// so entries stay valid across queries and epochs).
     norm: pug_smt::normalize::Normalizer,
     normalize: bool,
+    /// Requested obligation pool width (`0` = auto); resolved per region
+    /// comparison against the number of output arrays.
+    obl_par: usize,
+    learnt_exchange: bool,
+    /// Deferred cache accounting, present only on pooled *worker* sessions:
+    /// lookups read the shared cache uncounted plus a per-array local set,
+    /// and every op is logged for deterministic replay at merge time.
+    overlay: Option<CacheOverlay>,
+    /// The lazily-created obligation worker pool. Distinct from the
+    /// portfolio's rung pool on purpose: a rung job blocking on its own
+    /// pool's queue would deadlock if both drew from one set of threads.
+    obl_pool: Option<WorkerPool>,
+}
+
+/// One deferred cache operation of a pooled worker, replayed on the shared
+/// [`QueryCache`] in deterministic (array-index) order at merge time.
+#[derive(Clone, Copy, Debug)]
+enum CacheOp {
+    /// A lookup that was answered from `local ∪ shared` without counting;
+    /// replay bumps the owning shard's hit/miss counter.
+    Lookup { fp: u128, hit: bool },
+    /// A proven-unsat fingerprint recorded locally; replay inserts it into
+    /// the shared cache.
+    Record(u128),
+}
+
+/// Worker-session cache mode: reads go through the *frozen* shared cache
+/// plus a per-array local set (so an array's outcome classes depend only
+/// on the array itself, never on which worker ran it or what its pool
+/// siblings solved first), writes stay local, and everything is logged.
+#[derive(Default)]
+struct CacheOverlay {
+    ops: Vec<CacheOp>,
+    local: HashSet<u128>,
+}
+
+/// Master-session state saved across a pooled screen (see
+/// [`Session::snapshot`]).
+struct SessionSnapshot {
+    ctx: Ctx,
+    solve: SolveSession,
+    committed: HashSet<TermId>,
+    canon_memo: HashMap<TermId, u128>,
+    norm: pug_smt::normalize::Normalizer,
+    soundness: Soundness,
 }
 
 /// Internal control flow: `Some` means stop with this verdict.
@@ -296,6 +382,10 @@ impl Session {
             simplify: opts.simplify.clone(),
             norm: pug_smt::normalize::Normalizer::new(),
             normalize: opts.normalize,
+            obl_par: opts.obligation_parallelism,
+            learnt_exchange: opts.learnt_exchange,
+            overlay: None,
+            obl_pool: None,
         }
     }
 
@@ -502,7 +592,16 @@ impl Session {
             None
         };
         if let (Some(cache), Some(f)) = (&self.cache, fp) {
-            let hit = cache.lookup_unsat(f);
+            let hit = match self.overlay.as_mut() {
+                // Worker mode: uncounted read of frozen-shared ∪ local,
+                // logged for deterministic replay at merge.
+                Some(ov) => {
+                    let hit = ov.local.contains(&f) || cache.contains(f);
+                    ov.ops.push(CacheOp::Lookup { fp: f, hit });
+                    hit
+                }
+                None => cache.lookup_unsat(f),
+            };
             if self.metrics.is_enabled() {
                 // Per-lookup monotonic counters: the end-of-run
                 // `cache.publish` gauges are overwritten by whoever
@@ -538,7 +637,13 @@ impl Session {
         };
         if let (Some(cache), Some(f)) = (&self.cache, fp) {
             if r.is_unsat() {
-                cache.record_unsat(f);
+                match self.overlay.as_mut() {
+                    Some(ov) => {
+                        ov.local.insert(f);
+                        ov.ops.push(CacheOp::Record(f));
+                    }
+                    None => cache.record_unsat(f),
+                }
             }
         }
         let outcome = match &r {
@@ -563,6 +668,95 @@ impl Session {
             stats,
         });
         r
+    }
+
+    /// Resolve the effective obligation pool width for `n_arrays`
+    /// independent obligations: `0` means auto (machine parallelism),
+    /// always capped at `n_arrays`. Widths below two mean "stay
+    /// sequential".
+    fn pool_width(&self, n_arrays: usize) -> usize {
+        let requested = if self.obl_par == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.obl_par
+        };
+        requested.min(n_arrays)
+    }
+
+    /// The lazily-created obligation pool, grown to at least `members`
+    /// threads. Reused across segments/arrays of the same check.
+    fn obligation_pool(&mut self, members: usize) -> &WorkerPool {
+        if self.obl_pool.as_ref().is_none_or(|p| p.threads() < members) {
+            self.obl_pool = Some(WorkerPool::new(members));
+        }
+        self.obl_pool.as_ref().expect("pool just ensured")
+    }
+
+    /// Everything the sequential fallback needs to behave as if the pooled
+    /// screen never happened: the term DAG (including the fresh-name
+    /// counter), the incremental solver, the committed set and both memo
+    /// tables. Taken *before* pre-resolving, restored on any decisive
+    /// screen outcome.
+    fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            ctx: self.ctx.clone(),
+            solve: self.solve.clone(),
+            committed: self.committed.clone(),
+            canon_memo: self.canon_memo.clone(),
+            norm: self.norm.clone(),
+            soundness: self.soundness,
+        }
+    }
+
+    fn restore(&mut self, snap: SessionSnapshot) {
+        self.ctx = snap.ctx;
+        self.solve = snap.solve;
+        self.committed = snap.committed;
+        self.canon_memo = snap.canon_memo;
+        self.norm = snap.norm;
+        self.soundness = snap.soundness;
+    }
+
+    /// Fork a pooled worker session: a full replica of the master's solver
+    /// state (committed prefix CNF, gate cache, canonicalizer memos) over a
+    /// clone of the term DAG, so every master `TermId` resolves identically
+    /// in the worker. The worker runs under its own budget slice (child
+    /// cancel token), records no trace (the master synthesizes the spans at
+    /// merge), uses the deferred cache overlay, and — when a ring is given —
+    /// exchanges short prefix-only learnt clauses with its siblings.
+    fn fork_worker(&self, budget: Budget, ring: Option<(&Arc<LearntRing>, usize)>) -> Session {
+        let mut solve = self.solve.clone();
+        if let Some((ring, member)) = ring {
+            solve.attach_exchange(
+                ring.clone(),
+                member,
+                pug_sat::exchange::DEFAULT_EXPORT_MAX_LEN,
+            );
+        }
+        Session {
+            ctx: self.ctx.clone(),
+            budget,
+            queries: Vec::new(),
+            conc: self.conc.clone(),
+            bits: self.bits,
+            soundness: self.soundness,
+            mode: self.mode,
+            solve,
+            committed: self.committed.clone(),
+            incremental: self.incremental,
+            cache: self.cache.clone(),
+            canon_memo: self.canon_memo.clone(),
+            trace: TraceSpan::disabled(),
+            seg_stack: Vec::new(),
+            metrics: MetricsRegistry::disabled(),
+            simplify: self.simplify.clone(),
+            norm: self.norm.clone(),
+            normalize: self.normalize,
+            obl_par: 1,
+            learnt_exchange: false,
+            overlay: self.cache.as_ref().map(|_| CacheOverlay::default()),
+            obl_pool: None,
+        }
     }
 
     /// Feed one query's statistics into the metrics registry.
@@ -592,6 +786,7 @@ impl Session {
         m.add("sat.decisions", stats.sat.decisions);
         m.add("sat.restarts", stats.sat.restarts);
         m.add("sat.learnt_clauses", stats.sat.learnt_clauses);
+        m.add("sat.learnts_imported", stats.sat.learnts_imported);
         m.add("sat.vars_eliminated", stats.sat.vars_eliminated);
         m.add("sat.clauses_subsumed", stats.sat.clauses_subsumed);
         m.add("sat.clauses_vivified", stats.sat.clauses_vivified);
@@ -750,7 +945,200 @@ fn whole_kernel_equiv(
     compare_regions(sess, bound, &region_s, &region_t, &outputs, &base, &[])
 }
 
+/// The term-level plan for one output array's obligations: everything
+/// [`check_array`] needs, built by [`resolve_array`] **on the master
+/// context** so the fresh-name trajectory (`k!…`, `obs!…`, resolver
+/// internals) is identical whether the checks then run sequentially or on
+/// pooled workers (worker contexts are clones, so every `TermId` here
+/// resolves identically there).
+struct ArrayPlan {
+    array: String,
+    k: TermId,
+    out_s: ResolvedOutput,
+    out_t: ResolvedOutput,
+    prem_s: Vec<TermId>,
+    prem_t: Vec<TermId>,
+    obs_s: Vec<CoverageObligation>,
+    obs_t: Vec<CoverageObligation>,
+}
+
+/// Build the [`ArrayPlan`] for `array`: fresh comparison index, one shared
+/// observer thread, both sides' CA-chain resolution and the observer-range
+/// premises. This is the only part of an array's check that allocates
+/// fresh variables; the query goals themselves are built lazily in
+/// [`check_array`] from pure (hash-consed, name-free) term construction.
+fn resolve_array(
+    sess: &mut Session,
+    bound: &BoundConfig,
+    region_s: &ParamRegion,
+    region_t: &ParamRegion,
+    array: &str,
+) -> ArrayPlan {
+    let k = sess.ctx.fresh_var(&format!("k!{array}"), Sort::BitVec(bound.bits));
+
+    // One shared observer per output array: per-block shared memory is
+    // compared block-for-block within the observer's (symbolic) block.
+    let (out_s, prem_s, obs_s, observer) = {
+        let mut r = Resolver::new(&mut sess.ctx, region_s, "s");
+        let observer = r.observer(&format!("obs!{array}"));
+        let o = r.resolve_output(array, k, observer);
+        (o, r.all_premises(), r.obligations, observer)
+    };
+    let (out_t, prem_t, obs_t) = {
+        let mut r = Resolver::new(&mut sess.ctx, region_t, "t");
+        let o = r.resolve_output(array, k, observer);
+        (o, r.all_premises(), r.obligations)
+    };
+    // The observer must be a real thread; its range joins every premise
+    // set for this array (value, asymmetry, coverage, obligations).
+    let observer_range = thread_range(&mut sess.ctx, bound, observer.tid, observer.bid);
+    let mut prem_s = prem_s;
+    let mut prem_t = prem_t;
+    prem_s.push(observer_range);
+    prem_t.push(observer_range);
+    ArrayPlan { array: array.to_string(), k, out_s, out_t, prem_s, prem_t, obs_s, obs_t }
+}
+
+/// Run all query families for one planned array: value, asymmetric
+/// writes, output coverage and read-coverage obligations. `Ok(None)`
+/// means the array is clean; anything else is decisive for the check.
+#[allow(clippy::too_many_arguments)]
+fn check_array(
+    sess: &mut Session,
+    bound: &BoundConfig,
+    plan: &ArrayPlan,
+    region_s: &ParamRegion,
+    region_t: &ParamRegion,
+    base: &[TermId],
+    extra: &[TermId],
+) -> Result<Stop, Error> {
+    let ArrayPlan { array, k, out_s, out_t, prem_s, prem_t, obs_s, obs_t } = plan;
+    let k = *k;
+
+    // ---- value query: co-covered cells get equal values ----
+    if !out_s.insts.is_empty() && !out_t.insts.is_empty() {
+        let mut premises = base.to_vec();
+        premises.extend(extra.iter().copied());
+        premises.extend(prem_s.iter().copied());
+        premises.extend(prem_t.iter().copied());
+        premises.push(out_s.cover);
+        premises.push(out_t.cover);
+        let goal = sess.ctx.mk_eq(out_s.value, out_t.value);
+        match sess.query(&format!("value[{array}]"), &premises, goal) {
+            SmtResult::Unsat => {}
+            SmtResult::Unknown => return Ok(Some(Verdict::Timeout)),
+            SmtResult::Sat(model) => {
+                return Ok(Some(Verdict::Bug(BugReport::new(
+                    BugKind::EquivalenceMismatch,
+                    format!("kernels write different values to `{array}` at the witness index"),
+                    model,
+                    &sess.ctx,
+                ))))
+            }
+        }
+    }
+
+    if sess.mode == Mode::FastBugHunt {
+        return Ok(None);
+    }
+
+    // ---- asymmetric writes: one side writes, the other never does ----
+    for (name, out, prem, other_writes) in [
+        ("s", out_s, prem_s, !out_t.insts.is_empty()),
+        ("t", out_t, prem_t, !out_s.insts.is_empty()),
+    ] {
+        if !out.insts.is_empty() && !other_writes {
+            // The other kernel leaves `array[k]` at its entry value.
+            let entry = region_s.entries.get(array).copied().unwrap_or_else(|| {
+                region_t.entries[array]
+            });
+            let mut premises = base.to_vec();
+            premises.extend(extra.iter().copied());
+            premises.extend(prem.iter().copied());
+            premises.push(out.cover);
+            let old = sess.ctx.mk_select(entry, k);
+            let goal = sess.ctx.mk_eq(out.value, old);
+            match sess.query(&format!("asym[{array},{name}]"), &premises, goal) {
+                SmtResult::Unsat => {}
+                SmtResult::Unknown => return Ok(Some(Verdict::Timeout)),
+                SmtResult::Sat(model) => {
+                    return Ok(Some(Verdict::Bug(BugReport::new(
+                        BugKind::EquivalenceMismatch,
+                        format!(
+                            "kernel `{name}` modifies `{array}` at a cell the other kernel never writes"
+                        ),
+                        model,
+                        &sess.ctx,
+                    ))))
+                }
+            }
+        }
+    }
+
+    // ---- output coverage: same cell set, via witness correspondences ----
+    if !out_s.insts.is_empty() && !out_t.insts.is_empty() {
+        for (dir, from, from_prem, to, to_region) in [
+            ("s->t", out_s, prem_s, out_t, region_t),
+            ("t->s", out_t, prem_t, out_s, region_s),
+        ] {
+            match coverage_direction(sess, bound, from, from_prem, to, to_region, k, base, extra)? {
+                DirectionOutcome::Proven => {}
+                DirectionOutcome::Timeout => return Ok(Some(Verdict::Timeout)),
+                DirectionOutcome::Unproven(model) => {
+                    // A failed witness is not a proof of a bug for
+                    // arbitrary kernels, but the model exhibits a cell
+                    // covered by one kernel with no witnessed writer in
+                    // the other — report it (the paper reports the
+                    // analogous non-square-block case as a bug).
+                    return Ok(Some(Verdict::Bug(BugReport::new(
+                        BugKind::CoverageMismatch,
+                        format!(
+                            "output coverage of `{array}` differs ({dir}); \
+                             no thread correspondence witness covers the shown cell"
+                        ),
+                        model,
+                        &sess.ctx,
+                    ))));
+                }
+            }
+        }
+    }
+
+    // ---- read coverage obligations (hidden assumptions) ----
+    for (tag, obs, prem, region) in
+        [("s", obs_s, prem_s, region_s), ("t", obs_t, prem_t, region_t)]
+    {
+        for ob in obs.iter() {
+            match obligation_check(sess, bound, ob, region, prem, base, extra)? {
+                DirectionOutcome::Proven => {}
+                DirectionOutcome::Timeout => return Ok(Some(Verdict::Timeout)),
+                DirectionOutcome::Unproven(model) => {
+                    return Ok(Some(Verdict::Bug(BugReport::new(
+                        BugKind::CoverageMismatch,
+                        format!(
+                            "kernel `{tag}` reads `{}` at a cell no thread is witnessed \
+                             to write — a hidden configuration assumption is violated \
+                             (cf. the non-square Transpose block, paper §IV-B)",
+                            ob.array
+                        ),
+                        model,
+                        &sess.ctx,
+                    ))));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
 /// Compare two extracted regions on the given output arrays.
+///
+/// With two or more output arrays and an obligation pool width ≥ 2
+/// ([`CheckOptions::obligation_parallelism`]), the arrays are *screened*
+/// concurrently by pooled worker sessions; any decisive screen outcome
+/// falls back to this sequential loop on untouched master state, so the
+/// two paths are observationally identical (see
+/// [`compare_regions_pooled`]).
 #[allow(clippy::too_many_arguments)]
 fn compare_regions(
     sess: &mut Session,
@@ -761,144 +1149,275 @@ fn compare_regions(
     base: &[TermId],
     extra: &[TermId],
 ) -> Result<Stop, Error> {
+    let members = sess.pool_width(outputs.len());
+    if members >= 2 {
+        return compare_regions_pooled(
+            sess, bound, region_s, region_t, outputs, base, extra, members,
+        );
+    }
     for array in outputs {
-        let k = sess.ctx.fresh_var(&format!("k!{array}"), Sort::BitVec(bound.bits));
+        let plan = resolve_array(sess, bound, region_s, region_t, array);
+        sess.note_ca_chain(
+            &plan.array,
+            plan.out_s.insts.len(),
+            plan.out_t.insts.len(),
+            plan.obs_s.len() + plan.obs_t.len(),
+        );
+        if let Some(v) = check_array(sess, bound, &plan, region_s, region_t, base, extra)? {
+            return Ok(Some(v));
+        }
+    }
+    Ok(None)
+}
 
-        // One shared observer per output array: per-block shared memory is
-        // compared block-for-block within the observer's (symbolic) block.
-        let (out_s, prem_s, obs_s, observer) = {
-            let mut r = Resolver::new(&mut sess.ctx, region_s, "s");
-            let observer = r.observer(&format!("obs!{array}"));
-            let o = r.resolve_output(array, k, observer);
-            (o, r.all_premises(), r.obligations, observer)
-        };
-        let (out_t, prem_t, obs_t) = {
-            let mut r = Resolver::new(&mut sess.ctx, region_t, "t");
-            let o = r.resolve_output(array, k, observer);
-            (o, r.all_premises(), r.obligations)
-        };
-        // The observer must be a real thread; its range joins every premise
-        // set for this array (value, asymmetry, coverage, obligations).
-        let observer_range =
-            thread_range(&mut sess.ctx, bound, observer.tid, observer.bid);
-        let mut prem_s = prem_s;
-        let mut prem_t = prem_t;
-        prem_s.push(observer_range);
-        prem_t.push(observer_range);
-        sess.note_ca_chain(array, out_s.insts.len(), out_t.insts.len(), obs_s.len() + obs_t.len());
+/// One pooled worker's report for a clean (no-verdict) array.
+struct CleanArray {
+    queries: Vec<QueryStat>,
+    cache_ops: Vec<CacheOp>,
+    metrics: Option<MetricsSnapshot>,
+    downgraded: bool,
+}
 
-        // ---- value query: co-covered cells get equal values ----
-        if !out_s.insts.is_empty() && !out_t.insts.is_empty() {
-            let mut premises = base.to_vec();
-            premises.extend(extra.iter().copied());
-            premises.extend(prem_s.iter().copied());
-            premises.extend(prem_t.iter().copied());
-            premises.push(out_s.cover);
-            premises.push(out_t.cover);
-            let goal = sess.ctx.mk_eq(out_s.value, out_t.value);
-            match sess.query(&format!("value[{array}]"), &premises, goal) {
-                SmtResult::Unsat => {}
-                SmtResult::Unknown => return Ok(Some(Verdict::Timeout)),
-                SmtResult::Sat(model) => {
-                    return Ok(Some(Verdict::Bug(BugReport::new(
-                        BugKind::EquivalenceMismatch,
-                        format!("kernels write different values to `{array}` at the witness index"),
-                        model,
-                        &sess.ctx,
-                    ))))
+/// Message from a pooled worker to the coordinating master.
+enum WorkerMsg {
+    /// Array `index` screened clean, with its deferred effects.
+    Clean { index: usize, out: Box<CleanArray> },
+    /// Array `index` hit a decisive outcome (bug, timeout, error or
+    /// panic). The payload is irrelevant: the master discards the whole
+    /// screen and re-runs sequentially.
+    Decisive,
+    /// Worker `member` finished (its budget slice is dead).
+    Done,
+}
+
+/// Immutable inputs shared by every pooled worker.
+struct PooledShared {
+    bound: BoundConfig,
+    region_s: ParamRegion,
+    region_t: ParamRegion,
+    base: Vec<TermId>,
+    extra: Vec<TermId>,
+    plans: Vec<ArrayPlan>,
+    /// Next unclaimed array index (work stealing by atomic increment).
+    next: AtomicUsize,
+    /// Raised on the first decisive outcome: idle workers stop pulling.
+    abort: AtomicBool,
+}
+
+/// The pooled obligation screen: fork one worker [`Session`] per pool
+/// member off the master's committed state, race the per-array checks
+/// across them, and
+///
+/// * **all clean** → merge the workers' deferred effects (query stats,
+///   cache ops, metrics, soundness downgrades) into the master in array
+///   index order — deterministic regardless of scheduling, because each
+///   array's outcome depends only on the frozen shared state and the
+///   array itself;
+/// * **any decisive** (bug / timeout / error / worker panic) → cancel the
+///   pool, restore the master to its pre-screen snapshot and run the
+///   plain sequential loop, which is authoritative: witnesses, provenance
+///   and metrics are bit-identical to a sequential run by construction
+///   (injected faults are sticky, so they reproduce identically in the
+///   re-run).
+#[allow(clippy::too_many_arguments)]
+fn compare_regions_pooled(
+    sess: &mut Session,
+    bound: &BoundConfig,
+    region_s: &ParamRegion,
+    region_t: &ParamRegion,
+    outputs: &[String],
+    base: &[TermId],
+    extra: &[TermId],
+    members: usize,
+) -> Result<Stop, Error> {
+    let snap = sess.snapshot();
+    // Pre-resolve every array on the master, in output order: exactly the
+    // fresh-variable trajectory of the sequential loop (`check_array`
+    // allocates no fresh names), so fingerprints and witness terms match.
+    let plans: Vec<ArrayPlan> =
+        outputs.iter().map(|a| resolve_array(sess, bound, region_s, region_t, a)).collect();
+    let n_arrays = plans.len();
+    let counts: Vec<(usize, usize, usize)> = plans
+        .iter()
+        .map(|p| (p.out_s.insts.len(), p.out_t.insts.len(), p.obs_s.len() + p.obs_t.len()))
+        .collect();
+
+    let ring = (sess.incremental && sess.learnt_exchange)
+        .then(|| Arc::new(LearntRing::new(pug_sat::exchange::DEFAULT_RING_CAPACITY)));
+    let budgets = sess.budget.split(members);
+    let tokens: Vec<CancelToken> = budgets.iter().map(|b| b.cancel.clone()).collect();
+    let shared = Arc::new(PooledShared {
+        bound: bound.clone(),
+        region_s: region_s.clone(),
+        region_t: region_t.clone(),
+        base: base.to_vec(),
+        extra: extra.to_vec(),
+        plans,
+        next: AtomicUsize::new(0),
+        abort: AtomicBool::new(false),
+    });
+    let metrics_on = sess.metrics.is_enabled();
+    let (tx, rx) = channel::<WorkerMsg>();
+
+    let mut jobs: Vec<Box<dyn FnOnce() + Send + 'static>> = Vec::with_capacity(members);
+    for (member, budget) in budgets.into_iter().enumerate() {
+        let worker = sess.fork_worker(budget, ring.as_ref().map(|r| (r, member)));
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        jobs.push(Box::new(move || {
+            // The unwind guard covers the whole pull loop: whatever
+            // happens, `Done` is sent so the master never waits forever.
+            let mut worker = worker;
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                let fork_soundness = worker.soundness;
+                loop {
+                    if shared.abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = shared.next.fetch_add(1, Ordering::Relaxed);
+                    let Some(plan) = shared.plans.get(i) else { break };
+                    worker.queries.clear();
+                    worker.soundness = fork_soundness;
+                    if let Some(ov) = worker.overlay.as_mut() {
+                        ov.ops.clear();
+                        ov.local.clear();
+                    }
+                    worker.metrics =
+                        if metrics_on { MetricsRegistry::new() } else { MetricsRegistry::disabled() };
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        check_array(
+                            &mut worker,
+                            &shared.bound,
+                            plan,
+                            &shared.region_s,
+                            &shared.region_t,
+                            &shared.base,
+                            &shared.extra,
+                        )
+                    }));
+                    match r {
+                        Ok(Ok(None)) => {
+                            let out = CleanArray {
+                                queries: std::mem::take(&mut worker.queries),
+                                cache_ops: worker
+                                    .overlay
+                                    .as_mut()
+                                    .map(|ov| std::mem::take(&mut ov.ops))
+                                    .unwrap_or_default(),
+                                metrics: metrics_on.then(|| worker.metrics.snapshot()),
+                                downgraded: worker.soundness == Soundness::UnderApprox
+                                    && fork_soundness != Soundness::UnderApprox,
+                            };
+                            if tx.send(WorkerMsg::Clean { index: i, out: Box::new(out) }).is_err() {
+                                break;
+                            }
+                        }
+                        // Bug/timeout verdict, error, or a panic inside the
+                        // check: all decisive — the master re-runs anyway,
+                        // so the payload is dropped here.
+                        Ok(Ok(Some(_))) | Ok(Err(_)) | Err(_) => {
+                            shared.abort.store(true, Ordering::Relaxed);
+                            let _ = tx.send(WorkerMsg::Decisive);
+                            break;
+                        }
+                    }
                 }
-            }
+            }));
+            let _ = tx.send(WorkerMsg::Done);
+        }));
+    }
+    drop(tx);
+    {
+        let pool = sess.obligation_pool(members);
+        for job in jobs {
+            pool.submit(job);
         }
+    }
 
-        if sess.mode == Mode::FastBugHunt {
-            continue;
-        }
-
-        // ---- asymmetric writes: one side writes, the other never does ----
-        for (name, out, prem, other_writes) in [
-            ("s", &out_s, &prem_s, !out_t.insts.is_empty()),
-            ("t", &out_t, &prem_t, !out_s.insts.is_empty()),
-        ] {
-            if !out.insts.is_empty() && !other_writes {
-                // The other kernel leaves `array[k]` at its entry value.
-                let entry = region_s.entries.get(array).copied().unwrap_or_else(|| {
-                    region_t.entries[array]
-                });
-                let mut premises = base.to_vec();
-                premises.extend(extra.iter().copied());
-                premises.extend(prem.iter().copied());
-                premises.push(out.cover);
-                let old = sess.ctx.mk_select(entry, k);
-                let goal = sess.ctx.mk_eq(out.value, old);
-                match sess.query(&format!("asym[{array},{name}]"), &premises, goal) {
-                    SmtResult::Unsat => {}
-                    SmtResult::Unknown => return Ok(Some(Verdict::Timeout)),
-                    SmtResult::Sat(model) => {
-                        return Ok(Some(Verdict::Bug(BugReport::new(
-                            BugKind::EquivalenceMismatch,
-                            format!(
-                                "kernel `{name}` modifies `{array}` at a cell the other kernel never writes"
-                            ),
-                            model,
-                            &sess.ctx,
-                        ))))
+    let mut clean: Vec<Option<Box<CleanArray>>> = (0..n_arrays).map(|_| None).collect();
+    let mut decisive = false;
+    let mut done = 0usize;
+    while done < members {
+        match rx.recv() {
+            Ok(WorkerMsg::Clean { index, out }) => clean[index] = Some(out),
+            Ok(WorkerMsg::Decisive) => {
+                if !decisive {
+                    decisive = true;
+                    for t in &tokens {
+                        t.cancel();
                     }
                 }
             }
+            Ok(WorkerMsg::Done) => done += 1,
+            // All senders dropped without `members` Done messages: a pool
+            // thread died outside the unwind guard. Treat as decisive.
+            Err(_) => {
+                decisive = true;
+                break;
+            }
         }
+    }
 
-        // ---- output coverage: same cell set, via witness correspondences ----
-        if !out_s.insts.is_empty() && !out_t.insts.is_empty() {
-            for (dir, from, from_prem, to, to_region) in [
-                ("s->t", &out_s, &prem_s, &out_t, region_t),
-                ("t->s", &out_t, &prem_t, &out_s, region_s),
-            ] {
-                match coverage_direction(sess, bound, from, from_prem, to, to_region, k, base, extra)? {
-                    DirectionOutcome::Proven => {}
-                    DirectionOutcome::Timeout => return Ok(Some(Verdict::Timeout)),
-                    DirectionOutcome::Unproven(model) => {
-                        // A failed witness is not a proof of a bug for
-                        // arbitrary kernels, but the model exhibits a cell
-                        // covered by one kernel with no witnessed writer in
-                        // the other — report it (the paper reports the
-                        // analogous non-square-block case as a bug).
-                        return Ok(Some(Verdict::Bug(BugReport::new(
-                            BugKind::CoverageMismatch,
-                            format!(
-                                "output coverage of `{array}` differs ({dir}); \
-                                 no thread correspondence witness covers the shown cell"
-                            ),
-                            model,
-                            &sess.ctx,
-                        ))));
+    if !decisive && clean.iter().all(Option::is_some) {
+        // Deterministic merge, in array index order.
+        sess.metrics.set_gauge("pool.sessions", members as u64);
+        sess.metrics.add("obligations.parallel", n_arrays as u64);
+        if let Some(ring) = &ring {
+            sess.metrics.add("learnts.exchanged", ring.exported());
+            sess.metrics.add("learnts.imported", ring.imported());
+        }
+        for (i, slot) in clean.into_iter().enumerate() {
+            let out = *slot.expect("checked all clean");
+            let (is_, it, ob) = counts[i];
+            sess.note_ca_chain(&outputs[i], is_, it, ob);
+            for op in &out.cache_ops {
+                if let Some(cache) = &sess.cache {
+                    match *op {
+                        CacheOp::Lookup { fp, hit } => cache.note_lookup(fp, hit),
+                        CacheOp::Record(fp) => cache.record_unsat(fp),
                     }
                 }
             }
-        }
-
-        // ---- read coverage obligations (hidden assumptions) ----
-        for (tag, obs, prem, region) in
-            [("s", &obs_s, &prem_s, region_s), ("t", &obs_t, &prem_t, region_t)]
-        {
-            for ob in obs.iter() {
-                match obligation_check(sess, bound, ob, region, prem, base, extra)? {
-                    DirectionOutcome::Proven => {}
-                    DirectionOutcome::Timeout => return Ok(Some(Verdict::Timeout)),
-                    DirectionOutcome::Unproven(model) => {
-                        return Ok(Some(Verdict::Bug(BugReport::new(
-                            BugKind::CoverageMismatch,
-                            format!(
-                                "kernel `{tag}` reads `{}` at a cell no thread is witnessed \
-                                 to write — a hidden configuration assumption is violated \
-                                 (cf. the non-square Transpose block, paper §IV-B)",
-                                ob.array
-                            ),
-                            model,
-                            &sess.ctx,
-                        ))));
-                    }
+            if sess.trace.is_enabled() {
+                // Synthetic spans: the workers traced nothing, so the
+                // master replays one `query:` span per merged query to
+                // keep traces structurally equivalent to sequential runs.
+                for q in &out.queries {
+                    let g = sess.current_span().child_guard(&format!("query:{}", q.label));
+                    g.finish(vec![
+                        ("outcome", q.outcome.clone().into()),
+                        ("us", (q.duration.as_micros() as u64).into()),
+                        ("pooled", 1u64.into()),
+                    ]);
                 }
             }
+            if let Some(snapshot) = &out.metrics {
+                sess.metrics.merge_from(snapshot);
+            }
+            if out.downgraded {
+                sess.soundness = Soundness::UnderApprox;
+            }
+            sess.queries.extend(out.queries);
+        }
+        return Ok(None);
+    }
+
+    // Decisive (or lost) screen: throw it away and answer sequentially on
+    // the restored master. Sticky injected faults and real bugs reproduce
+    // identically; spurious worker-only failures (budget-slice exhaustion)
+    // are absorbed.
+    sess.restore(snap);
+    sess.metrics.incr("obligations.fallback");
+    for array in outputs {
+        let plan = resolve_array(sess, bound, region_s, region_t, array);
+        sess.note_ca_chain(
+            &plan.array,
+            plan.out_s.insts.len(),
+            plan.out_t.insts.len(),
+            plan.obs_s.len() + plan.obs_t.len(),
+        );
+        if let Some(v) = check_array(sess, bound, &plan, region_s, region_t, base, extra)? {
+            return Ok(Some(v));
         }
     }
     Ok(None)

@@ -70,12 +70,13 @@ pub use equiv::{
     check_equivalence_nonparam, check_equivalence_param, CheckOptions, Mode, QueryStat, Report,
 };
 pub use error::Error;
-pub use explain::{explain_report, explain_with, ExplainOptions};
+pub use explain::{explain_full, explain_report, explain_with, ExplainOptions};
 pub use kernel::KernelUnit;
 pub use perf::{check_bank_conflicts, check_coalescing, PerfReport};
 pub use portfolio::{
     run_portfolio, verify_all, verify_all_on, PortfolioOptions, QueryCache, QueryCacheStats,
-    VerifyTask, WorkerPool, DEFAULT_QUERY_CACHE_CAPACITY,
+    ShardStats, VerifyTask, WorkerPool, DEFAULT_QUERY_CACHE_CAPACITY,
+    DEFAULT_QUERY_CACHE_SHARDS,
 };
 pub use postcond::{check_postcondition_nonparam, check_postcondition_param};
 pub use pug_smt::failpoints;

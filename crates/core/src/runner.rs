@@ -261,6 +261,11 @@ pub struct RunnerOptions {
     /// Term canonicalization (`pug_smt::normalize`) on every rung and aux
     /// pass. On by default; differential suites turn it off.
     pub normalize: bool,
+    /// Intra-rung obligation parallelism, forwarded to every rung's
+    /// [`CheckOptions::obligation_parallelism`]: `0` auto-detects, `1`
+    /// forces the sequential obligation loop, `n ≥ 2` pools up to `n`
+    /// solver sessions per region comparison.
+    pub obligation_parallelism: usize,
 }
 
 impl Default for RunnerOptions {
@@ -277,6 +282,7 @@ impl Default for RunnerOptions {
             metrics: MetricsRegistry::disabled(),
             aux_passes: false,
             normalize: true,
+            obligation_parallelism: 0,
         }
     }
 }
@@ -308,6 +314,13 @@ impl RunnerOptions {
     /// Enable the auxiliary race/perf passes.
     pub fn with_aux_passes(mut self) -> RunnerOptions {
         self.aux_passes = true;
+        self
+    }
+
+    /// Pin the per-rung obligation pool width (`0` = auto, `1` =
+    /// sequential).
+    pub fn with_obligation_parallelism(mut self, n: usize) -> RunnerOptions {
+        self.obligation_parallelism = n;
         self
     }
 }
@@ -493,6 +506,7 @@ pub(crate) fn dispatch_rung(
     check_opts.max_term_nodes = opts.max_term_nodes;
     check_opts.query_cache = opts.query_cache.clone();
     check_opts.normalize = opts.normalize;
+    check_opts.obligation_parallelism = opts.obligation_parallelism;
     match rung {
         Rung::Param => check_equivalence_param(src, tgt, cfg, &check_opts),
         Rung::ParamConcretized => {
@@ -704,6 +718,7 @@ pub(crate) fn run_aux_passes(
             // per-lookup counters cover every query of the run.
             query_cache: opts.query_cache.clone(),
             normalize: opts.normalize,
+            obligation_parallelism: opts.obligation_parallelism,
             ..CheckOptions::default()
         };
         let started = Instant::now();

@@ -17,7 +17,7 @@ impl ClauseRef {
 }
 
 /// A disjunction of literals plus solver bookkeeping.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Clause {
     /// The literals. The first two are the watched positions.
     pub lits: Vec<Lit>,

@@ -1,0 +1,206 @@
+//! Bounded learnt-clause exchange between pooled solver replicas.
+//!
+//! Obligation-parallel verification forks one solver replica per pool
+//! member from a committed shared prefix. The replicas then solve
+//! *different* goal deltas, but most of their search effort goes into the
+//! same prefix CNF — so a short learnt clause over prefix variables derived
+//! by one member is a valid (and often useful) lemma for every other
+//! member. This module is the conduit:
+//!
+//! * [`LearntRing`] — a bounded, mutex-guarded ring the members share.
+//!   Publishing appends (evicting the oldest entries past capacity) and
+//!   collection is cursor-based: each member remembers the sequence number
+//!   it has consumed up to and skips its own entries.
+//! * [`Exchange`] — the per-member view: ring handle, member id, the
+//!   **prefix variable high-water mark** and length cap that gate what may
+//!   be exported, the collection cursor, and a pending buffer flushed at
+//!   restart boundaries.
+//!
+//! Soundness (see `DESIGN.md` §5): only clauses whose literals all lie
+//! below the prefix high-water mark may cross sessions. Goal deltas are
+//! asserted under fresh assumption-guard variables allocated *after* the
+//! replica forked, so any learnt clause involving a goal (directly or via
+//! its guard) contains a literal at or above the mark and is filtered out.
+//! What remains is a consequence of the shared prefix plus retired-guard
+//! units — and retiring a guard `¬g` is satisfiability-preserving over
+//! prefix variables (a fresh `g` occurs only in `¬g ∨ l` clauses), so a
+//! prefix-only learnt is a consequence of the prefix alone and sound to
+//! assert in every replica.
+//!
+//! Importing happens strictly at restart boundaries (decision level 0) via
+//! `Solver::import_learnt`, which restores BVE-eliminated variables first
+//! ("restore-on-reuse") so preprocessing state in the importer stays sound.
+
+use crate::types::Lit;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Default bound on ring entries; past it the oldest lemmas are dropped.
+pub const DEFAULT_RING_CAPACITY: usize = 1024;
+
+/// Default cap on exported clause length: long learnts rarely transfer.
+pub const DEFAULT_EXPORT_MAX_LEN: usize = 8;
+
+struct Entry {
+    seq: u64,
+    source: usize,
+    lits: Arc<[Lit]>,
+}
+
+struct RingInner {
+    entries: VecDeque<Entry>,
+    /// Sequence number the *next* published entry will get.
+    next_seq: u64,
+    capacity: usize,
+}
+
+/// The shared, bounded lemma ring. Cheap to clone the `Arc` around it;
+/// all member traffic funnels through one mutex, which is fine because
+/// members only touch it at restart boundaries (every ~100+ conflicts).
+pub struct LearntRing {
+    inner: Mutex<RingInner>,
+    exported: AtomicU64,
+    imported: AtomicU64,
+}
+
+fn recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking publisher cannot leave the ring mid-mutation (pushes and
+    // pops are the only writes), so the poisoned guard stays valid.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl LearntRing {
+    pub fn new(capacity: usize) -> LearntRing {
+        LearntRing {
+            inner: Mutex::new(RingInner {
+                entries: VecDeque::new(),
+                next_seq: 0,
+                capacity,
+            }),
+            exported: AtomicU64::new(0),
+            imported: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish one eligible learnt clause from `source`.
+    pub fn publish(&self, source: usize, lits: &[Lit]) {
+        let mut inner = recover(&self.inner);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.entries.push_back(Entry { seq, source, lits: lits.into() });
+        while inner.entries.len() > inner.capacity {
+            inner.entries.pop_front();
+        }
+        self.exported.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Collect every entry published since `last_seen` by a member other
+    /// than `member`, appending to `out`; returns the new cursor.
+    pub fn collect_since(&self, member: usize, last_seen: u64, out: &mut Vec<Arc<[Lit]>>) -> u64 {
+        let inner = recover(&self.inner);
+        for e in &inner.entries {
+            if e.seq >= last_seen && e.source != member {
+                out.push(e.lits.clone());
+            }
+        }
+        inner.next_seq
+    }
+
+    /// Count `n` clauses as actually attached by an importer.
+    pub fn note_imported(&self, n: u64) {
+        self.imported.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total clauses published across all members.
+    pub fn exported(&self) -> u64 {
+        self.exported.load(Ordering::Relaxed)
+    }
+
+    /// Total clauses attached by importers (tautologies, satisfied and
+    /// own-source entries do not count).
+    pub fn imported(&self) -> u64 {
+        self.imported.load(Ordering::Relaxed)
+    }
+}
+
+/// One pool member's connection to the ring. Attached to a `Solver` via
+/// `set_exchange`; the solver exports at learn sites (filtered by
+/// `max_var`/`max_len`) and runs an exchange round at restart boundaries.
+#[derive(Clone)]
+pub struct Exchange {
+    pub ring: Arc<LearntRing>,
+    /// This member's id (its own entries are skipped on collection).
+    pub member: usize,
+    /// Prefix high-water mark: only clauses whose variables are all below
+    /// this index may be exported. Guard and goal variables are allocated
+    /// after the replica forked, so they sit at or above the mark.
+    pub max_var: u32,
+    /// Length cap on exported clauses.
+    pub max_len: usize,
+    /// Ring cursor: sequence number consumed up to.
+    pub last_seen: u64,
+    /// Learnts that passed the filter, awaiting the next restart flush.
+    pub pending: Vec<Vec<Lit>>,
+}
+
+impl Exchange {
+    pub fn new(ring: Arc<LearntRing>, member: usize, max_var: u32, max_len: usize) -> Exchange {
+        Exchange { ring, member, max_var, max_len, last_seen: 0, pending: Vec::new() }
+    }
+
+    /// Does this learnt clause qualify for export?
+    #[inline]
+    pub fn eligible(&self, lits: &[Lit]) -> bool {
+        lits.len() <= self.max_len
+            && lits.iter().all(|l| (l.var().index() as u32) < self.max_var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lit(v: u32) -> Lit {
+        Var(v).pos()
+    }
+
+    #[test]
+    fn ring_skips_own_entries_and_advances_cursor() {
+        let ring = LearntRing::new(8);
+        ring.publish(0, &[lit(1), lit(2)]);
+        ring.publish(1, &[lit(3)]);
+        let mut got = Vec::new();
+        let cur = ring.collect_since(0, 0, &mut got);
+        assert_eq!(cur, 2);
+        assert_eq!(got.len(), 1);
+        assert_eq!(&*got[0], &[lit(3)][..]);
+        // Nothing new since the cursor.
+        let mut again = Vec::new();
+        assert_eq!(ring.collect_since(0, cur, &mut again), 2);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_fifo() {
+        let ring = LearntRing::new(2);
+        ring.publish(0, &[lit(1)]);
+        ring.publish(0, &[lit(2)]);
+        ring.publish(0, &[lit(3)]);
+        let mut got = Vec::new();
+        ring.collect_since(1, 0, &mut got);
+        assert_eq!(got.len(), 2, "oldest entry evicted");
+        assert_eq!(&*got[0], &[lit(2)][..]);
+        assert_eq!(ring.exported(), 3);
+    }
+
+    #[test]
+    fn eligibility_filters_by_var_mark_and_length() {
+        let ring = Arc::new(LearntRing::new(8));
+        let ex = Exchange::new(ring, 0, 10, 2);
+        assert!(ex.eligible(&[lit(3), lit(9)]));
+        assert!(!ex.eligible(&[lit(3), lit(10)]), "at the mark is out");
+        assert!(!ex.eligible(&[lit(1), lit(2), lit(3)]), "too long");
+    }
+}

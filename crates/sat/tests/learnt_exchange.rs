@@ -1,0 +1,96 @@
+//! End-to-end learnt-clause exchange between solver replicas sharing a
+//! [`LearntRing`]: the first replica's restart boundaries flush eligible
+//! lemmas (short, prefix-variable-only) to the ring, a sibling attaches
+//! them via its own restart boundaries, and — the soundness property the
+//! obligation pool relies on — attaching foreign lemmas never changes any
+//! verdict.
+
+use pug_sat::{Budget, Cnf, Exchange, LearntRing, Lit, SolveResult, Solver, Var};
+use pug_testutil::TestRng;
+use std::sync::Arc;
+
+/// Pigeonhole principle PHP(pigeons, holes): unsatisfiable for
+/// pigeons > holes and hard enough for CDCL to restart many times —
+/// guaranteeing real exchange traffic.
+fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
+    let var = |p: usize, h: usize| Var((p * holes + h) as u32);
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    for p in 0..pigeons {
+        clauses.push((0..holes).map(|h| Lit::new(var(p, h), true)).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                clauses.push(vec![Lit::new(var(p1, h), false), Lit::new(var(p2, h), false)]);
+            }
+        }
+    }
+    Cnf { num_vars: pigeons * holes, clauses }
+}
+
+fn solve_with_exchange(cnf: &Cnf, ring: &Arc<LearntRing>, member: usize) -> (SolveResult, u64) {
+    let mut s = Solver::new();
+    assert!(cnf.load(&mut s), "pigeonhole loads");
+    s.set_exchange(Exchange::new(Arc::clone(ring), member, cnf.num_vars as u32, 8));
+    let r = s.solve(&Budget::unlimited());
+    (r, s.stats().learnts_imported)
+}
+
+#[test]
+fn replicas_exchange_lemmas_through_the_ring() {
+    let cnf = pigeonhole(7, 6);
+    let ring = Arc::new(LearntRing::new(1024));
+
+    let (r0, imported0) = solve_with_exchange(&cnf, &ring, 0);
+    assert_eq!(r0, SolveResult::Unsat);
+    assert_eq!(imported0, 0, "nothing to import on an empty ring");
+    assert!(ring.exported() > 0, "a restarting UNSAT proof must export short lemmas");
+
+    // The sibling sees member 0's lemmas at its own restart boundaries.
+    let (r1, imported1) = solve_with_exchange(&cnf, &ring, 1);
+    assert_eq!(r1, SolveResult::Unsat);
+    assert!(imported1 > 0, "sibling never attached a foreign lemma");
+    assert_eq!(ring.imported(), imported1);
+}
+
+#[test]
+fn foreign_lemmas_never_change_verdicts() {
+    // Random instances around the 3-SAT phase transition, solved bare and
+    // with an exchange pre-seeded by a first replica: the verdict must be
+    // identical either way (imported lemmas are consequences, so this is
+    // the exchange's soundness contract).
+    let mut rng = TestRng::seed_from_u64(0xec5a);
+    for round in 0..40 {
+        let nv = rng.gen_range(8..=14);
+        let nc = (nv as f64 * 4.2) as usize;
+        let clauses: Vec<Vec<Lit>> = (0..nc)
+            .map(|_| {
+                (0..3)
+                    .map(|_| Lit::new(Var(rng.gen_range(0..nv) as u32), rng.gen_bool(0.5)))
+                    .collect()
+            })
+            .collect();
+        let cnf = Cnf { num_vars: nv, clauses };
+
+        let mut bare = Solver::new();
+        let bare_result = if cnf.load(&mut bare) {
+            bare.solve(&Budget::unlimited())
+        } else {
+            SolveResult::Unsat
+        };
+
+        let ring = Arc::new(LearntRing::new(1024));
+        let (seed_result, _) = if cnf.load(&mut Solver::new()) {
+            solve_with_exchange(&cnf, &ring, 0)
+        } else {
+            (SolveResult::Unsat, 0)
+        };
+        assert_eq!(seed_result, bare_result, "round {round}: exporting replica diverged");
+        let (fed_result, _) = if cnf.load(&mut Solver::new()) {
+            solve_with_exchange(&cnf, &ring, 1)
+        } else {
+            (SolveResult::Unsat, 0)
+        };
+        assert_eq!(fed_result, bare_result, "round {round}: importing replica diverged");
+    }
+}

@@ -115,6 +115,13 @@ impl KernelGen {
 
     /// One statement; `depth` bounds if/else nesting.
     pub fn stmt(&mut self, depth: usize) -> String {
+        self.stmt_for("out", depth)
+    }
+
+    /// One statement writing `dst`; same choice stream as [`Self::stmt`],
+    /// so `stmt_for("out", d)` is bit-compatible with the original
+    /// generator.
+    fn stmt_for(&mut self, dst: &str, depth: usize) -> String {
         // The guarded-write variant is sampled *first* (extended profile
         // only) so the basic profile's choice stream stays identical to
         // the original generator.
@@ -122,25 +129,29 @@ impl KernelGen {
             // The paper's conditional-assignment shape: a thread-dependent
             // guard over a per-thread write.
             let bound = self.rng.gen_range(1..8);
-            return format!("if ((tid.x % 8) < {bound}) out[{}] = {};", self.idx(1), self.expr(2));
+            return format!(
+                "if ((tid.x % 8) < {bound}) {dst}[{}] = {};",
+                self.idx(1),
+                self.expr(2)
+            );
         }
         match self.rng.gen_range(0..6usize) {
-            0 => format!("out[{}] = {};", self.idx(1), self.expr(2)),
+            0 => format!("{dst}[{}] = {};", self.idx(1), self.expr(2)),
             1 => format!("int l{} = {};", self.rng.gen_range(0..3), self.expr(2)),
             2 if depth > 0 => {
                 format!(
                     "if ({}) {{ {} }} else {{ {} }}",
                     self.cond(),
-                    self.stmt(depth - 1),
-                    self.stmt(depth - 1)
+                    self.stmt_for(dst, depth - 1),
+                    self.stmt_for(dst, depth - 1)
                 )
             }
-            3 => format!("out[{}] += {};", self.idx(1), self.expr(1)),
+            3 => format!("{dst}[{}] += {};", self.idx(1), self.expr(1)),
             4 => {
                 let v = self.rng.gen_range(0..3);
-                format!("int l{v} = {}; out[{}] = l{v};", self.expr(1), self.idx(1))
+                format!("int l{v} = {}; {dst}[{}] = l{v};", self.expr(1), self.idx(1))
             }
-            _ => format!("out[{}] = in[{}];", self.idx(1), self.idx(1)),
+            _ => format!("{dst}[{}] = in[{}];", self.idx(1), self.idx(1)),
         }
     }
 
@@ -191,6 +202,30 @@ impl KernelGen {
             body.join("\n")
         )
     }
+
+    /// A kernel over `arrays` independent output arrays `o0..o{k-1}` —
+    /// one obligation chain per array, which is exactly the shape the
+    /// intra-rung obligation pool fans out. Statements come from the same
+    /// grammar as [`Self::kernel`] (profile constructs included), just
+    /// re-targeted per array; determinism per (seed, profile, arrays) is
+    /// absolute.
+    pub fn multi_output_kernel(&mut self, arrays: usize) -> String {
+        let arrays = arrays.max(1);
+        let params: String = (0..arrays).map(|a| format!("int *o{a}, ")).collect();
+        let mut body = String::new();
+        for a in 0..arrays {
+            let dst = format!("o{a}");
+            // Guaranteed write first — grammar statements may be pure
+            // declarations, and an array that is never written yields no
+            // obligation chain at all.
+            body.push_str(&format!("{dst}[{}] = {};\n", self.idx(1), self.expr(2)));
+            for _ in 0..self.rng.gen_range(0..2u32) {
+                body.push_str(&self.stmt_for(&dst, 1));
+                body.push('\n');
+            }
+        }
+        format!("void k({params}int *in, int p) {{\n{body}}}")
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +246,22 @@ mod tests {
             let src = KernelGen::basic(seed).kernel();
             assert!(!src.contains("__shared__"), "seed {seed}:\n{src}");
             assert!(!src.contains("% 8)"), "seed {seed}:\n{src}");
+        }
+    }
+
+    #[test]
+    fn multi_output_kernels_write_every_array() {
+        for seed in 0..30 {
+            let src = KernelGen::extended(seed).multi_output_kernel(4);
+            for a in 0..4 {
+                assert!(src.contains(&format!("int *o{a}, ")), "seed {seed}:\n{src}");
+                assert!(src.contains(&format!("o{a}[")), "seed {seed}: o{a} never written\n{src}");
+            }
+            assert_eq!(
+                src,
+                KernelGen::extended(seed).multi_output_kernel(4),
+                "seed {seed} not deterministic"
+            );
         }
     }
 

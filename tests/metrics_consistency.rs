@@ -35,20 +35,41 @@ fn fuzz_cfg() -> GpuConfig {
 
 #[test]
 fn metrics_agree_with_trace_and_provenance_on_fuzzed_runs() {
+    metrics_fuzz(0);
+}
+
+#[test]
+fn metrics_agree_on_fuzzed_runs_with_obligation_parallelism() {
+    // Same four-view agreement over the pooled obligation screen: workers
+    // run with private registries whose snapshots are merged back in array
+    // index order, and the master emits one synthetic `query:` span per
+    // merged query — so every invariant below must survive unchanged.
+    // Multi-output kernels (2–4 arrays) so the pool actually fans out;
+    // grammar kernels write a single `out` and would cap the width at 1.
+    metrics_fuzz(4);
+}
+
+fn metrics_fuzz(obligation_parallelism: usize) {
     for i in 0..50u64 {
         // Split the budget over both grammars; odd runs turn the auxiliary
         // passes on so their queries are covered by the invariant too.
+        let arrays = if obligation_parallelism > 0 { 2 + (i as usize % 3) } else { 1 };
         let (name, text) = if i < 25 {
-            (format!("basic seed {i}"), KernelGen::basic(i * 13 + 1).kernel())
+            let mut g = KernelGen::basic(i * 13 + 1);
+            let text = if arrays > 1 { g.multi_output_kernel(arrays) } else { g.kernel() };
+            (format!("basic seed {i} ({arrays} arrays)"), text)
         } else {
-            (format!("extended seed {i}"), KernelGen::extended(i * 71 + 9).kernel())
+            let mut g = KernelGen::extended(i * 71 + 9);
+            let text = if arrays > 1 { g.multi_output_kernel(arrays) } else { g.kernel() };
+            (format!("extended seed {i} ({arrays} arrays)"), text)
         };
         let unit = KernelUnit::load(&text).unwrap();
         let sink = TraceSink::recording();
         let metrics = MetricsRegistry::new();
         let mut opts = RunnerOptions::default()
             .with_trace(sink.clone())
-            .with_metrics(metrics.clone());
+            .with_metrics(metrics.clone())
+            .with_obligation_parallelism(obligation_parallelism);
         if i % 2 == 1 {
             opts = opts.with_aux_passes();
         }
