@@ -30,11 +30,25 @@ run_suite "fault-injection smoke (portfolio)" \
 # exits non-zero if any verdict diverges across the three, and gates each
 # row's incremental wall time against the committed baseline (>10% + 50 ms
 # slack counts as a regression; rows absent from the quick grid are
-# reported, not gated).
+# reported, not gated). Also runs the rung-improvement grid and exits
+# non-zero unless at least one row's answering rung gets strictly
+# stronger with the generalized quantifier elimination on, verdicts
+# agreeing.
 run_suite "perf smoke + regression gate" \
   cargo run --release -p pug-bench --bin repro-tables -- \
-    --bench-json /tmp/bench_pr9_ci.json --quick --timeout 60 \
-    --baseline BENCH_pr9.json
+    --bench-json /tmp/bench_pr10_ci.json --quick --timeout 60 \
+    --baseline BENCH_pr10.json
+# Generalized-qelim smoke: the differential suite proving elimination-on
+# and elimination-off report identical verdicts across the corpus and a
+# fuzzed grid, that the symbolic-stride pair is answered by the fully
+# parameterized rung only with the elimination on, and that an armed
+# `core::qelim` failpoint degrades to the legacy drop path with correct
+# provenance. Plus the replay gate: every race the checker calls provable
+# must carry a schedule this suite independently re-parses and replays.
+run_suite "qelim smoke" \
+  cargo test -q --test qelim_differential
+run_suite "race-replay smoke" \
+  cargo test -q --test race_witness_replay
 # Obligation-parallel smoke: the differential suite proving the pooled
 # per-array screen is bit-identical to the sequential loop — corpus pairs
 # at pool widths 2 and 8 on both backends, plus the engagement check that

@@ -23,8 +23,17 @@
 //! JSON so the repo has a perf trajectory later PRs can diff. Phase-for-
 //! phase verdict agreement between the three modes is the correctness
 //! smoke: the caller exits non-zero when any row diverges.
+//!
+//! A second, smaller grid (`rung_rows`) measures what the generalized
+//! (Presburger) quantifier elimination buys: each pair runs through the
+//! resilient runner's degradation ladder with the elimination on and off,
+//! and the `rows_rung_improved` headline counts the rows whose answering
+//! rung got strictly stronger (e.g. a fully parameterized `Param` proof
+//! instead of a `NonParam(n=4)` fallback) while the verdict stayed
+//! identical. The caller gates on that count staying ≥ 1.
 
 use pugpara::equiv::{check_equivalence_param, CheckOptions, Mode, Report};
+use pugpara::runner::{run_resilient, Rung, RunnerOptions};
 use pugpara::{KernelUnit, QueryCache, Soundness, Verdict};
 use pug_ir::GpuConfig;
 use std::fmt::Write as _;
@@ -139,6 +148,56 @@ fn rows(quick: bool) -> Vec<RowSpec> {
         }),
     });
     rows
+}
+
+/// One rung-improvement row: a kernel pair pushed through the resilient
+/// runner's degradation ladder twice — once with the generalized
+/// (Presburger) quantifier elimination on (the default) and once with
+/// [`RunnerOptions::no_generalized_qelim`] — comparing which rung answers.
+/// An *improved* row is one where the verdicts agree but the elimination
+/// lets a stronger rung answer (e.g. `Param` instead of `NonParam(n=4)`),
+/// i.e. the proof got strictly more general at no soundness cost.
+struct RungSpec {
+    name: &'static str,
+    src: &'static str,
+    tgt: &'static str,
+    cfg: GpuConfig,
+}
+
+fn rung_rows() -> Vec<RungSpec> {
+    vec![
+        // The symbolic-stride loop pair: without the generalized
+        // elimination the Param rung fails (residual ∀-formula dropped)
+        // and the ladder falls back to a concrete n; with it the loop's
+        // write coverage becomes a stride-membership fact and the fully
+        // parameterized rung answers.
+        RungSpec {
+            name: "grid-stride/rung/8b",
+            src: pug_kernels::stride::GRID_STRIDE,
+            tgt: pug_kernels::stride::GRID_STRIDE_REASSOC,
+            cfg: GpuConfig::symbolic_1d(8),
+        },
+        // Control row: already answered by Param either way — the
+        // elimination must not perturb pairs that never needed it.
+        RungSpec {
+            name: "scalar_product/rung/8b",
+            src: pug_kernels::scalar_product::KERNEL,
+            tgt: pug_kernels::scalar_product::KERNEL,
+            cfg: GpuConfig::symbolic_1d(8),
+        },
+    ]
+}
+
+/// Ladder position of the answering rung: lower is stronger (closer to
+/// the fully parameterized proof). `None` (no rung answered) ranks last.
+fn rung_rank(r: Option<&Rung>) -> u8 {
+    match r {
+        Some(Rung::Param) => 0,
+        Some(Rung::ParamConcretized) => 1,
+        Some(Rung::NonParam { .. }) => 2,
+        Some(Rung::FastBugHunt) => 3,
+        None => 4,
+    }
 }
 
 /// Aggregated metrics of one mode's run of one row (all phases).
@@ -340,6 +399,9 @@ pub struct BenchJsonReport {
     pub json: String,
     pub rows_total: usize,
     pub rows_agreeing: usize,
+    /// Rung-improvement rows whose answering rung got strictly stronger
+    /// with the generalized quantifier elimination on, verdicts agreeing.
+    pub rows_rung_improved: usize,
     /// Σ one-shot wall / Σ incremental wall across rows.
     pub aggregate_speedup: f64,
     /// Per-row (name, incremental wall seconds) — the numbers the baseline
@@ -418,7 +480,7 @@ pub fn baseline_gate(report: &BenchJsonReport, baseline_json: &str) -> Result<St
 /// Run the incremental-vs-one-shot grid and render it as JSON.
 pub fn bench_json_report(timeout: Duration, quick: bool) -> BenchJsonReport {
     let specs = rows(quick);
-    let mut json = String::from("{\n  \"bench\": \"pr9-obligation-parallel\",\n");
+    let mut json = String::from("{\n  \"bench\": \"pr10-generalized-qelim\",\n");
     let _ = writeln!(json, "  \"timeout_secs\": {},", timeout.as_secs());
     let _ = writeln!(json, "  \"quick\": {quick},");
     json.push_str("  \"rows\": [\n");
@@ -458,10 +520,72 @@ pub fn bench_json_report(timeout: Duration, quick: bool) -> BenchJsonReport {
         json.push_str(if i + 1 == specs.len() { "  }\n" } else { "  },\n" });
     }
 
+    json.push_str("  ],\n");
+
+    // Rung-improvement grid: the answering rung with the generalized
+    // elimination on vs off. Verdict classes must agree on every row; the
+    // headline counts the rows where agreement holds *and* the answering
+    // rung got strictly stronger.
+    json.push_str("  \"rung_rows\": [\n");
+    let rung_specs = rung_rows();
+    let mut rung_improved = 0usize;
+    for (i, spec) in rung_specs.iter().enumerate() {
+        eprintln!("bench-json: {} (qelim on/off)", spec.name);
+        let src = load(spec.src);
+        let tgt = load(spec.tgt);
+        let started = Instant::now();
+        let on = run_resilient(&src, &tgt, &spec.cfg, &RunnerOptions::default());
+        let on_wall = started.elapsed();
+        let started = Instant::now();
+        let off =
+            run_resilient(&src, &tgt, &spec.cfg, &RunnerOptions::default().no_generalized_qelim());
+        let off_wall = started.elapsed();
+        // Agreement compares the *outcome* (clean / bug / timeout), not the
+        // soundness decoration: a stronger answering rung upgrades
+        // `Verified(Downgraded)` to `Verified(Sound)`, and that upgrade is
+        // precisely what an improved row reports — it must not read as a
+        // divergence.
+        let outcome = |v: &Verdict| match verdict_class(Some(v)) {
+            "verified" | "clean" => "clean",
+            other => other,
+        };
+        let agree = outcome(&on.verdict) == outcome(&off.verdict);
+        let improved = agree
+            && rung_rank(on.provenance.answered_by.as_ref())
+                < rung_rank(off.provenance.answered_by.as_ref());
+        if improved {
+            rung_improved += 1;
+        }
+        let rung_str = |r: Option<&Rung>| match r {
+            Some(r) => r.to_string(),
+            None => "none".into(),
+        };
+        json.push_str("  {\n");
+        let _ = writeln!(json, "    \"name\": \"{}\",", spec.name);
+        let _ = writeln!(json, "    \"agree\": {agree},");
+        let _ = writeln!(json, "    \"improved\": {improved},");
+        let _ = writeln!(
+            json,
+            "    \"qelim_on\": {{\"rung\": \"{}\", \"verdict\": \"{}\", \"wall_secs\": {:.3}}},",
+            rung_str(on.provenance.answered_by.as_ref()),
+            verdict_class(Some(&on.verdict)),
+            on_wall.as_secs_f64(),
+        );
+        let _ = writeln!(
+            json,
+            "    \"qelim_off\": {{\"rung\": \"{}\", \"verdict\": \"{}\", \"wall_secs\": {:.3}}}",
+            rung_str(off.provenance.answered_by.as_ref()),
+            verdict_class(Some(&off.verdict)),
+            off_wall.as_secs_f64(),
+        );
+        json.push_str(if i + 1 == rung_specs.len() { "  }\n" } else { "  },\n" });
+    }
+
     let aggregate = one_wall.as_secs_f64() / inc_wall.as_secs_f64().max(1e-9);
     json.push_str("  ],\n");
     let _ = writeln!(json, "  \"rows_total\": {},", specs.len());
     let _ = writeln!(json, "  \"rows_agreeing\": {agree},");
+    let _ = writeln!(json, "  \"rows_rung_improved\": {rung_improved},");
     let _ = writeln!(json, "  \"aggregate_speedup\": {aggregate:.2}");
     json.push_str("}\n");
 
@@ -469,6 +593,7 @@ pub fn bench_json_report(timeout: Duration, quick: bool) -> BenchJsonReport {
         json,
         rows_total: specs.len(),
         rows_agreeing: agree,
+        rows_rung_improved: rung_improved,
         aggregate_speedup: aggregate,
         row_walls,
     }
@@ -482,6 +607,9 @@ mod tests {
     fn quick_grid_agrees_and_is_valid_jsonish() {
         let r = bench_json_report(Duration::from_secs(60), true);
         assert_eq!(r.rows_agreeing, r.rows_total, "{}", r.json);
+        // The elimination must buy at least one strictly stronger answering
+        // rung (the grid-stride row) with the verdict preserved.
+        assert!(r.rows_rung_improved >= 1, "{}", r.json);
         // Sanity on the hand-rolled JSON: balanced braces/brackets, no NaN.
         assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());
         assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
@@ -516,6 +644,7 @@ mod tests {
             json: String::new(),
             rows_total: walls.len(),
             rows_agreeing: walls.len(),
+            rows_rung_improved: 1,
             aggregate_speedup: 1.0,
             row_walls: walls.iter().map(|&(n, w)| (n.to_string(), w)).collect(),
         };

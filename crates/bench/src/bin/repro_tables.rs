@@ -162,13 +162,22 @@ fn main() {
             std::process::exit(1);
         }
         println!(
-            "bench-json: {} rows, {} agreeing, aggregate speedup {:.2}x -> {path}",
-            report.rows_total, report.rows_agreeing, report.aggregate_speedup
+            "bench-json: {} rows, {} agreeing, {} rung-improved, aggregate speedup {:.2}x -> {path}",
+            report.rows_total,
+            report.rows_agreeing,
+            report.rows_rung_improved,
+            report.aggregate_speedup
         );
         if report.rows_agreeing != report.rows_total {
             eprintln!(
                 "bench-json: verdict divergence between incremental and one-shot paths"
             );
+            std::process::exit(1);
+        }
+        if report.rows_rung_improved == 0 {
+            // The generalized quantifier elimination must buy at least one
+            // strictly stronger answering rung with the verdict preserved.
+            eprintln!("bench-json: no rung-improvement row — generalized qelim earned nothing");
             std::process::exit(1);
         }
         if let Some(baseline_path) = &args.baseline {

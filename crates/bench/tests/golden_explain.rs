@@ -60,8 +60,13 @@ const CORPUS_CASES: &[&str] = &[
     "reduction_bug_8b",
     "vectoradd_bug_8b",
 ];
-const SCENARIO_CASES: &[&str] =
-    &["param_proof", "fastbughunt_bug", "budget_exhausted_unknown", "aux_passes"];
+const SCENARIO_CASES: &[&str] = &[
+    "param_proof",
+    "stride_param_proof",
+    "fastbughunt_bug",
+    "budget_exhausted_unknown",
+    "aux_passes",
+];
 
 /// Grid pair name -> snapshot file stem.
 fn slug(name: &str) -> String {
@@ -137,6 +142,21 @@ fn param_proof_narrative_matches_golden() {
         run_resilient(&naive, &naive, &GpuConfig::symbolic_2d(8), &RunnerOptions::default());
     assert!(report.verdict.is_verified(), "{}", report.provenance.render());
     check_golden("param_proof", &stable(&report)).unwrap();
+}
+
+/// A sound parameterized proof that *needs* the generalized (Presburger)
+/// quantifier elimination: the grid-stride pair's write coverage is a
+/// symbolic-stride residue the monotone eliminator gives up on, so this
+/// narrative pins the elimination's contribution to the residue story.
+#[test]
+fn stride_param_proof_narrative_matches_golden() {
+    let _scope = Scope::armed(&[]);
+    let src = KernelUnit::load(pug_kernels::stride::GRID_STRIDE).unwrap();
+    let tgt = KernelUnit::load(pug_kernels::stride::GRID_STRIDE_REASSOC).unwrap();
+    let report = run_resilient(&src, &tgt, &GpuConfig::symbolic_1d(8), &RunnerOptions::default());
+    assert!(report.verdict.is_verified(), "{}", report.provenance.render());
+    assert!(report.provenance.soundness_note.is_none(), "{}", report.provenance.render());
+    check_golden("stride_param_proof", &stable(&report)).unwrap();
 }
 
 /// FastBugHunt finds the bug with every stronger rung exhausted: the

@@ -118,6 +118,13 @@ pub struct CheckOptions {
     /// pooled screen (never verdicts — see DESIGN.md §5). On by default;
     /// meaningless when the check is sequential or one-shot.
     pub learnt_exchange: bool,
+    /// Generalized (Presburger / Omega-test-lite) quantifier elimination:
+    /// symbolic-stride loop memberships and affine witness inversions that
+    /// the monotone-only `qelim` machinery cannot express. On by default;
+    /// when off (or when the `core::qelim` failpoint is armed) the engine
+    /// behaves exactly as before this pass existed — affected obligations
+    /// fall back to the residual-drop path and the rung downgrades.
+    pub generalized_qelim: bool,
 }
 
 impl Default for CheckOptions {
@@ -138,6 +145,7 @@ impl Default for CheckOptions {
             normalize: true,
             obligation_parallelism: 0,
             learnt_exchange: true,
+            generalized_qelim: true,
         }
     }
 }
@@ -221,6 +229,14 @@ impl CheckOptions {
         self.learnt_exchange = false;
         self
     }
+
+    /// Disable the generalized (Presburger) quantifier elimination; the
+    /// differential suites use this to prove the fallback path still
+    /// reaches the same verdicts through the degradation ladder.
+    pub fn no_generalized_qelim(mut self) -> CheckOptions {
+        self.generalized_qelim = false;
+        self
+    }
 }
 
 /// Statistics of one SMT query issued during a check.
@@ -285,6 +301,9 @@ pub(crate) struct Session {
     /// comparison against the number of output arrays.
     obl_par: usize,
     learnt_exchange: bool,
+    /// Generalized (Presburger) quantifier elimination enabled for this
+    /// session (see [`CheckOptions::generalized_qelim`]).
+    generalized_qelim: bool,
     /// Deferred cache accounting, present only on pooled *worker* sessions:
     /// lookups read the shared cache uncounted plus a per-array local set,
     /// and every op is logged for deterministic replay at merge time.
@@ -384,9 +403,17 @@ impl Session {
             normalize: opts.normalize,
             obl_par: opts.obligation_parallelism,
             learnt_exchange: opts.learnt_exchange,
+            generalized_qelim: opts.generalized_qelim,
             overlay: None,
             obl_pool: None,
         }
+    }
+
+    /// Is the generalized (Presburger) elimination usable right now? The
+    /// `core::qelim` failpoint simulates an aborted elimination: armed, the
+    /// engine degrades to the pre-Presburger residual-drop path.
+    pub(crate) fn qelim_enabled(&self) -> bool {
+        self.generalized_qelim && pug_smt::failpoints::check("core::qelim").is_none()
     }
 
     /// The innermost open span (segment scope or the check root).
@@ -436,10 +463,22 @@ impl Session {
         self.metrics.incr("qelim.witnessed");
     }
 
+    /// The generalized (Presburger) elimination produced the constraint or
+    /// witness that made a formerly-residual obligation quantifier-free.
+    pub(crate) fn note_qelim_generalized(&mut self) {
+        self.metrics.incr("qelim.generalized");
+    }
+
+    /// A race report was classified ([`crate::verdict::RaceClass`]).
+    pub(crate) fn note_race(&mut self, provable: bool) {
+        self.metrics.incr("races.reported");
+        self.metrics.incr(if provable { "races.provable" } else { "races.potential" });
+    }
+
     /// No witness shape applied: the obligation was dropped and the proof
     /// downgraded to under-approximate.
     pub(crate) fn note_qelim_dropped(&mut self, array: &str) {
-        self.metrics.incr("qelim.dropped");
+        self.metrics.incr("qelim.residual_dropped");
         if self.trace.is_enabled() {
             self.current_span().point(
                 &format!("qelim-drop[{array}]"),
@@ -754,6 +793,7 @@ impl Session {
             normalize: self.normalize,
             obl_par: 1,
             learnt_exchange: false,
+            generalized_qelim: self.generalized_qelim,
             overlay: self.cache.as_ref().map(|_| CacheOverlay::default()),
             obl_pool: None,
         }
@@ -1444,6 +1484,13 @@ enum WitnessKind {
     /// `c · τ.x` (or `τ.x << c`, or plain `τ.x`), the witness thread has
     /// `tid.x := addr / c` — the reduction correspondence.
     InvertX,
+    /// General affine inversion via the Presburger bridge: for CAs writing
+    /// at any affine map `c·τ.x + d`, the witness thread is
+    /// `tid.x := c⁻¹·(addr − d)` (modular inverse), with a divisibility
+    /// side condition when `c` is even. Only tried when the generalized
+    /// qelim is enabled; the side condition is conjoined into the cover so
+    /// the SMT solver re-validates the inversion in modular arithmetic.
+    Affine,
 }
 
 const WITNESSES: [WitnessKind; 4] = [
@@ -1452,6 +1499,25 @@ const WITNESSES: [WitnessKind; 4] = [
     WitnessKind::SwapBoth,
     WitnessKind::InvertX,
 ];
+
+const GENERALIZED_WITNESSES: [WitnessKind; 5] = [
+    WitnessKind::Identity,
+    WitnessKind::SwapTid,
+    WitnessKind::SwapBoth,
+    WitnessKind::InvertX,
+    WitnessKind::Affine,
+];
+
+/// The witness shapes the session may try: the static shapes always, the
+/// Presburger-backed affine inversion only when the generalized
+/// elimination is usable.
+fn witness_kinds(sess: &Session) -> &'static [WitnessKind] {
+    if sess.qelim_enabled() {
+        &GENERALIZED_WITNESSES
+    } else {
+        &WITNESSES
+    }
+}
 
 /// Build the witnessed cover for `insts`: the disjunction over
 /// instantiations of `cond ∧ range` with each instantiation's fresh thread
@@ -1469,19 +1535,46 @@ fn witness_cover(
 ) -> Option<TermId> {
     let mut disj = sess.ctx.mk_false();
     for inst in insts {
-        let wthread = match kind {
-            WitnessKind::Identity => reference,
-            WitnessKind::SwapTid => ThreadRef {
-                tid: [reference.tid[1], reference.tid[0], reference.tid[2]],
-                bid: reference.bid,
-            },
-            WitnessKind::SwapBoth => ThreadRef {
-                tid: [reference.tid[1], reference.tid[0], reference.tid[2]],
-                bid: [reference.bid[1], reference.bid[0]],
-            },
+        let (wthread, side) = match kind {
+            WitnessKind::Identity => (reference, None),
+            WitnessKind::SwapTid => (
+                ThreadRef {
+                    tid: [reference.tid[1], reference.tid[0], reference.tid[2]],
+                    bid: reference.bid,
+                },
+                None,
+            ),
+            WitnessKind::SwapBoth => (
+                ThreadRef {
+                    tid: [reference.tid[1], reference.tid[0], reference.tid[2]],
+                    bid: [reference.bid[1], reference.bid[0]],
+                },
+                None,
+            ),
             WitnessKind::InvertX => {
                 let inv = invert_x(sess, inst.canonical_addr, canonical_tid_x, addr)?;
-                ThreadRef { tid: [inv, reference.tid[1], reference.tid[2]], bid: reference.bid }
+                (
+                    ThreadRef {
+                        tid: [inv, reference.tid[1], reference.tid[2]],
+                        bid: reference.bid,
+                    },
+                    None,
+                )
+            }
+            WitnessKind::Affine => {
+                let (inv, side) = crate::presburger::invert_affine(
+                    &mut sess.ctx,
+                    inst.canonical_addr,
+                    canonical_tid_x,
+                    addr,
+                )?;
+                (
+                    ThreadRef {
+                        tid: [inv, reference.tid[1], reference.tid[2]],
+                        bid: reference.bid,
+                    },
+                    side,
+                )
             }
         };
         let mut map = HashMap::new();
@@ -1493,7 +1586,10 @@ fn witness_cover(
         }
         let cond_w = sess.ctx.substitute(inst.cond, &map);
         let range_w = thread_range(&mut sess.ctx, bound, wthread.tid, wthread.bid);
-        let branch = sess.ctx.mk_and(cond_w, range_w);
+        let mut branch = sess.ctx.mk_and(cond_w, range_w);
+        if let Some(side) = side {
+            branch = sess.ctx.mk_and(branch, side);
+        }
         disj = sess.ctx.mk_or(disj, branch);
     }
     Some(disj)
@@ -1544,7 +1640,7 @@ fn coverage_direction(
 ) -> Result<DirectionOutcome, Error> {
     let mut last_model = None;
     'insts: for inst in &from.insts {
-        for kind in WITNESSES {
+        for &kind in witness_kinds(sess) {
             let cover_w = witness_cover(
                 sess,
                 bound,
@@ -1562,6 +1658,9 @@ fn coverage_direction(
             match sess.query(&format!("coverage[{kind:?}]"), &premises, cover_w) {
                 SmtResult::Unsat => {
                     sess.note_qelim_witnessed();
+                    if matches!(kind, WitnessKind::Affine) {
+                        sess.note_qelim_generalized();
+                    }
                     continue 'insts;
                 }
                 SmtResult::Unknown => return Ok(DirectionOutcome::Timeout),
@@ -1585,7 +1684,7 @@ fn obligation_check(
     extra: &[TermId],
 ) -> Result<DirectionOutcome, Error> {
     let mut last_model = None;
-    for kind in WITNESSES {
+    for &kind in witness_kinds(sess) {
         let cover_w = witness_cover(
             sess,
             bound,
@@ -1603,6 +1702,9 @@ fn obligation_check(
         match sess.query(&format!("read-coverage[{}:{kind:?}]", ob.array), &premises, cover_w) {
             SmtResult::Unsat => {
                 sess.note_qelim_witnessed();
+                if matches!(kind, WitnessKind::Affine) {
+                    sess.note_qelim_generalized();
+                }
                 return Ok(DirectionOutcome::Proven);
             }
             SmtResult::Unknown => return Ok(DirectionOutcome::Timeout),
@@ -1776,9 +1878,10 @@ fn lockstep_equiv(
                     })?;
                 let mut extra = Vec::new();
                 let kvar = sess.ctx.mk_var(&format!("k!seg{i}"), Sort::BitVec(w));
+                let params = scalar_params(&[src, tgt]);
                 match &alignment {
                     Alignment::SameOrder => {
-                        extra.push(space_constraint(sess, bound, &h_s.space, kvar)?);
+                        extra.push(space_constraint(sess, bound, &h_s.space, kvar, &params)?);
                     }
                     Alignment::Reversed { pow2_bound } => {
                         // Reversed traversal: sound only for commutative-
@@ -1790,7 +1893,7 @@ fn lockstep_equiv(
                             });
                         }
                         sess.soundness = Soundness::UnderApprox;
-                        let bterm = lower_config_expr(sess, bound, pow2_bound)?;
+                        let bterm = lower_config_expr(sess, bound, pow2_bound, &params)?;
                         extra.push(pow2_constraint(sess, bterm));
                         extra.push(space_constraint(
                             sess,
@@ -1801,6 +1904,7 @@ fn lockstep_equiv(
                                 ratio: 2,
                             },
                             kvar,
+                            &params,
                         )?);
                     }
                 }
@@ -1903,20 +2007,52 @@ fn all_writes_accumulate(body: &[Stmt], unit: &KernelUnit) -> bool {
     ok
 }
 
+/// Names of the scalar kernel parameters of `units` — the only identifiers
+/// [`lower_config_expr`] may treat as loop bounds (locals are SSA-renamed
+/// by the symbolic lowering and have no stable name to bind to).
+pub(crate) fn scalar_params(units: &[&KernelUnit]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for u in units {
+        for (name, info) in &u.types.vars {
+            if matches!(info, VarInfo::Scalar { is_param: true, .. }) {
+                out.insert(name.clone());
+            }
+        }
+    }
+    out
+}
+
 /// Lower a configuration-only expression (loop bounds) to a term.
 fn lower_config_expr(
     sess: &mut Session,
     bound: &BoundConfig,
     e: &Expr,
+    params: &HashSet<String>,
 ) -> Result<TermId, Error> {
     let w = bound.bits;
     let t = match e {
         Expr::Int(n) => sess.ctx.mk_bv_const(*n, w),
         Expr::Builtin(Builtin::Bdim(d)) => bound.bdim[dim_ix(*d)],
         Expr::Builtin(Builtin::Gdim(d)) => bound.gdim[dim_ix(*d).min(1)],
+        // Scalar kernel parameters are sound bounds: the symbolic lowering
+        // (`exec.rs`) binds them as free variables by the same name, so
+        // `mk_var` here denotes the identical value. Gated on the
+        // generalized qelim so the legacy path keeps its exact behavior.
+        Expr::Ident(name) if params.contains(name) && sess.qelim_enabled() => {
+            match sess.conc.get(name).copied() {
+                Some(v) => sess.ctx.mk_bv_const(v, w),
+                None => sess.ctx.mk_var(name, Sort::BitVec(w)),
+            }
+        }
+        Expr::Ident(name) if params.contains(name) => {
+            sess.metrics.incr("qelim.residual_dropped");
+            return Err(Error::AlignmentFailed {
+                detail: format!("loop bound must be configuration-only, found {e:?}"),
+            });
+        }
         Expr::Binary { op, lhs, rhs } => {
-            let a = lower_config_expr(sess, bound, lhs)?;
-            let b = lower_config_expr(sess, bound, rhs)?;
+            let a = lower_config_expr(sess, bound, lhs, params)?;
+            let b = lower_config_expr(sess, bound, rhs, params)?;
             match op {
                 BinOp::Add => sess.ctx.mk_bv_add(a, b),
                 BinOp::Sub => sess.ctx.mk_bv_sub(a, b),
@@ -1967,8 +2103,9 @@ pub(crate) fn space_constraint_pub(
     bound: &BoundConfig,
     space: &LoopSpace,
     k: TermId,
+    params: &HashSet<String>,
 ) -> Result<TermId, Error> {
-    space_constraint(sess, bound, space, k)
+    space_constraint(sess, bound, space, k, params)
 }
 
 /// Membership constraint `k ∈ space`.
@@ -1977,6 +2114,7 @@ fn space_constraint(
     bound: &BoundConfig,
     space: &LoopSpace,
     k: TermId,
+    params: &HashSet<String>,
 ) -> Result<TermId, Error> {
     let w = bound.bits;
     match space {
@@ -1986,7 +2124,7 @@ fn space_constraint(
                     detail: "geometric loops must start at 1".into(),
                 });
             }
-            let bt = lower_config_expr(sess, bound, b)?;
+            let bt = lower_config_expr(sess, bound, b, params)?;
             let zero = sess.ctx.mk_bv_const(0, w);
             let one = sess.ctx.mk_bv_const(1, w);
             let nz = sess.ctx.mk_neq(k, zero);
@@ -1998,7 +2136,7 @@ fn space_constraint(
             Ok(sess.ctx.mk_and(a, lt))
         }
         LoopSpace::GeometricDown { start, ratio: 2 } => {
-            let st = lower_config_expr(sess, bound, start)?;
+            let st = lower_config_expr(sess, bound, start, params)?;
             let zero = sess.ctx.mk_bv_const(0, w);
             let one = sess.ctx.mk_bv_const(1, w);
             let nz = sess.ctx.mk_neq(k, zero);
@@ -2010,8 +2148,8 @@ fn space_constraint(
             Ok(sess.ctx.mk_and(a, le))
         }
         LoopSpace::LinearUp { start, bound: b, step, inclusive } => {
-            let st = lower_config_expr(sess, bound, start)?;
-            let bt = lower_config_expr(sess, bound, b)?;
+            let st = lower_config_expr(sess, bound, start, params)?;
+            let bt = lower_config_expr(sess, bound, b, params)?;
             let ge = sess.ctx.mk_bv_ule(st, k);
             let ub = if *inclusive {
                 sess.ctx.mk_bv_ule(k, bt)
@@ -2027,6 +2165,35 @@ fn space_constraint(
                 let aligned = sess.ctx.mk_eq(rem, zero);
                 c = sess.ctx.mk_and(c, aligned);
             }
+            Ok(c)
+        }
+        // Symbolic stride (`i += bdim.x` and friends): the membership set
+        // is no longer expressible by the monotone qelim machinery — it
+        // needs the Presburger stride encoding. When the generalized
+        // elimination is off (or failpoint-aborted) this degrades to the
+        // pre-Presburger behavior: the obligation is dropped as residual
+        // and the caller's rung fails over to the degradation ladder.
+        LoopSpace::LinearUpSym { start, bound: b, step, inclusive } => {
+            if !sess.qelim_enabled() {
+                sess.metrics.incr("qelim.residual_dropped");
+                return Err(Error::AlignmentFailed {
+                    detail: "symbolic-stride loop needs the generalized (Presburger) \
+                             quantifier elimination, which is disabled"
+                        .into(),
+                });
+            }
+            let st = lower_config_expr(sess, bound, start, params)?;
+            let bt = lower_config_expr(sess, bound, b, params)?;
+            let stp = lower_config_expr(sess, bound, step, params)?;
+            let c = crate::presburger::stride_membership(
+                &mut sess.ctx,
+                k,
+                st,
+                bt,
+                stp,
+                *inclusive,
+            );
+            sess.note_qelim_generalized();
             Ok(c)
         }
         other => Err(Error::AlignmentFailed {

@@ -321,7 +321,8 @@ fn residue_story(verdict: &Verdict) -> &'static str {
     match verdict {
         Verdict::Verified(Soundness::Sound) => {
             "all write-coverage obligations were discharged (every residual \
-             formula was witnessed or proven); the proof is sound"
+             formula was witnessed, eliminated by Presburger reasoning, or \
+             proven); the proof is sound"
         }
         Verdict::Verified(Soundness::UnderApprox) => {
             "some quantified write-coverage residue was dropped after \

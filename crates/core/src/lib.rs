@@ -59,6 +59,7 @@ pub mod param;
 pub mod perf;
 pub mod portfolio;
 pub mod postcond;
+pub mod presburger;
 pub mod qelim;
 pub mod race;
 pub mod resolve;
@@ -85,4 +86,4 @@ pub use runner::{
     run_resilient, PassRecord, Provenance, ResilientReport, Rung, RungOutcome, RungRecord,
     RunnerOptions, Watchdog,
 };
-pub use verdict::{BugKind, BugReport, Soundness, Verdict};
+pub use verdict::{BugKind, BugReport, RaceClass, Soundness, Verdict};

@@ -88,9 +88,14 @@ fn analyze(
                         continue; // unrecognized loop: skip (perf analysis is best-effort)
                     };
                     let kvar = sess.ctx.mk_var(&format!("k!perf{i}"), Sort::BitVec(w));
-                    let Ok(membership) =
-                        crate::equiv::space_constraint_pub(&mut sess, &bound, &header.space, kvar)
-                    else {
+                    let params = crate::equiv::scalar_params(&[unit]);
+                    let Ok(membership) = crate::equiv::space_constraint_pub(
+                        &mut sess,
+                        &bound,
+                        &header.space,
+                        kvar,
+                        &params,
+                    ) else {
                         continue;
                     };
                     (body.clone(), vec![(header.var.clone(), kvar, false)], vec![membership])

@@ -1,0 +1,744 @@
+//! Omega-test-lite: integer linear arithmetic elimination for the residual
+//! ∀-formulas the monotone-only [`crate::qelim`] cannot handle.
+//!
+//! The frontend only ever produces *affine* (and guarded/piecewise-affine)
+//! index maps — `c·tid.x + d`, grid-stride offsets, tile bases — so a full
+//! Presburger decision procedure is overkill. This module implements the
+//! slice of Pugh's Omega test that those maps need:
+//!
+//! * a pure integer engine ([`solve`]) doing Fourier–Motzkin elimination
+//!   with the *real shadow* (Unsat ⇒ Unsat, always sound), the *dark
+//!   shadow* `a·U − b·L ≥ (a−1)(b−1)` (Sat ⇒ Sat, exact when a unit
+//!   coefficient is involved), and a bounded *gray shadow* splinter search
+//!   in between — beyond the splinter budget the answer is
+//!   [`Omega::Unknown`], never a guess;
+//! * a term-level bridge ([`affine_decompose`], [`invert_affine`],
+//!   [`stride_membership`]) that turns affine bit-vector index maps into
+//!   exact witness substitutions and quantifier-free membership
+//!   constraints for the `equiv.rs` resolution layer.
+//!
+//! ## Domain constraint and trust story
+//!
+//! The engine reasons over **mathematical integers**; the verifier's terms
+//! live in **w-bit arithmetic modulo 2^w**. The bridge therefore never lets
+//! the engine's answer reach a verdict directly: every witness substitution
+//! and membership constraint it derives is re-checked by the bit-vector SMT
+//! solver (which models wrap-around exactly), so an engine bug — or the
+//! integer/modular mismatch itself — can cost completeness (a proof falls
+//! back to the degradation ladder) but never soundness. The modular inverse
+//! used by [`invert_affine`] *is* exact in 2^w arithmetic: for odd `c` the
+//! map `x ↦ c·x + d (mod 2^w)` is a bijection with inverse
+//! `x = c⁻¹·(a − d)`; for `c = 2^s·c'` (odd `c'`) the inverse holds under
+//! the explicit divisibility side condition `(a − d) mod 2^s = 0` which is
+//! emitted as part of the witness and checked by the solver.
+
+use pug_smt::{Ctx, Op, Sort, TermId};
+
+// ---------------------------------------------------------------------------
+// Pure integer engine
+// ---------------------------------------------------------------------------
+
+/// Constraint coefficients. `i128` gives FM pair products headroom; any
+/// overflow is caught with checked arithmetic and degrades to `Unknown`.
+pub type Coef = i128;
+
+/// Relation of a [`Constraint`]: `Σ cᵢ·xᵢ + k  {=, ≥}  0`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rel {
+    Eq,
+    Ge,
+}
+
+/// One linear constraint over `n_vars` integer variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Constraint {
+    pub coeffs: Vec<Coef>,
+    pub constant: Coef,
+    pub rel: Rel,
+}
+
+impl Constraint {
+    /// `Σ cᵢ·xᵢ + k ≥ 0`.
+    pub fn ge(coeffs: Vec<Coef>, constant: Coef) -> Constraint {
+        Constraint { coeffs, constant, rel: Rel::Ge }
+    }
+
+    /// `Σ cᵢ·xᵢ + k = 0`.
+    pub fn eq(coeffs: Vec<Coef>, constant: Coef) -> Constraint {
+        Constraint { coeffs, constant, rel: Rel::Eq }
+    }
+
+    /// `Σ cᵢ·xᵢ + k ≤ 0`, stored as the negated `≥`.
+    pub fn le(coeffs: Vec<Coef>, constant: Coef) -> Constraint {
+        Constraint {
+            coeffs: coeffs.into_iter().map(|c| -c).collect(),
+            constant: -constant,
+            rel: Rel::Ge,
+        }
+    }
+
+    /// Evaluate at a concrete point (brute-force oracle for the fuzzer).
+    pub fn holds_at(&self, point: &[Coef]) -> bool {
+        let v: Coef = self
+            .coeffs
+            .iter()
+            .zip(point)
+            .map(|(c, x)| c * x)
+            .sum::<Coef>()
+            + self.constant;
+        match self.rel {
+            Rel::Eq => v == 0,
+            Rel::Ge => v >= 0,
+        }
+    }
+}
+
+/// A conjunction of constraints over a fixed variable count.
+#[derive(Clone, Debug, Default)]
+pub struct System {
+    pub n_vars: usize,
+    pub constraints: Vec<Constraint>,
+}
+
+impl System {
+    pub fn new(n_vars: usize) -> System {
+        System { n_vars, constraints: Vec::new() }
+    }
+
+    pub fn push(&mut self, c: Constraint) {
+        debug_assert_eq!(c.coeffs.len(), self.n_vars);
+        self.constraints.push(c);
+    }
+
+    /// Brute-force satisfiability over the box `[lo, hi]^n` — the
+    /// enumeration oracle the property fuzzer compares [`solve`] against.
+    pub fn brute_force_sat(&self, lo: Coef, hi: Coef) -> bool {
+        let mut point = vec![lo; self.n_vars];
+        loop {
+            if self.constraints.iter().all(|c| c.holds_at(&point)) {
+                return true;
+            }
+            let mut i = 0;
+            loop {
+                if i == self.n_vars {
+                    return false;
+                }
+                point[i] += 1;
+                if point[i] <= hi {
+                    break;
+                }
+                point[i] = lo;
+                i += 1;
+            }
+            if self.n_vars == 0 {
+                return false;
+            }
+        }
+    }
+}
+
+/// Three-valued answer. `Sat`/`Unsat` are definitive over the integers;
+/// `Unknown` means a budget ran out or arithmetic overflowed — callers must
+/// treat it as "no information" (the bridge then leaves the obligation to
+/// the degradation ladder).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Omega {
+    Sat,
+    Unsat,
+    Unknown,
+}
+
+/// Elimination budgets. The defaults comfortably cover the affine maps the
+/// frontend emits (a handful of variables, single-digit coefficients).
+#[derive(Clone, Copy, Debug)]
+pub struct OmegaBudget {
+    /// Maximum gray-shadow splinters explored per elimination step.
+    pub max_splinters: usize,
+    /// Maximum live constraints per elimination step — FM squares the
+    /// constraint count in the worst case, so unchecked recursion can
+    /// grind for minutes inside the step budget. Exceeding the cap
+    /// returns [`Omega::Unknown`] (always sound: the caller falls back).
+    pub max_constraints: usize,
+    /// Maximum recursive elimination steps overall.
+    pub max_steps: usize,
+}
+
+impl Default for OmegaBudget {
+    fn default() -> OmegaBudget {
+        OmegaBudget { max_splinters: 64, max_steps: 4096, max_constraints: 512 }
+    }
+}
+
+fn gcd(a: Coef, b: Coef) -> Coef {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn floor_div(a: Coef, b: Coef) -> Coef {
+    debug_assert!(b > 0);
+    let q = a / b;
+    if a % b != 0 && a < 0 {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Normalize one constraint by the gcd of its coefficients. Returns
+/// `None` when the constraint is trivially true (droppable), `Some(Err)`
+/// when it is trivially false, `Some(Ok(c))` otherwise.
+fn normalize(c: &Constraint) -> Option<Result<Constraint, ()>> {
+    let g = c.coeffs.iter().fold(0, |acc, &x| gcd(acc, x));
+    if g == 0 {
+        // Variable-free: decide now.
+        let sat = match c.rel {
+            Rel::Eq => c.constant == 0,
+            Rel::Ge => c.constant >= 0,
+        };
+        return if sat { None } else { Some(Err(())) };
+    }
+    let mut out = c.clone();
+    match c.rel {
+        Rel::Eq => {
+            // The integer gcd test: Σ cᵢxᵢ = −k has a solution only when
+            // g | k.
+            if c.constant % g != 0 {
+                return Some(Err(()));
+            }
+            out.constant = c.constant / g;
+        }
+        // Tightening: Σ cᵢxᵢ ≥ −k  ⇔  Σ (cᵢ/g)xᵢ ≥ ⌈−k/g⌉, i.e. the
+        // constant rounds *down* (floor) on the `+ k ≥ 0` form.
+        Rel::Ge => out.constant = floor_div(c.constant, g),
+    }
+    for x in &mut out.coeffs {
+        *x /= g;
+    }
+    Some(Ok(out))
+}
+
+/// Decide satisfiability of `sys` over the integers (Omega-test-lite).
+///
+/// Sound in both directions when it answers: `Unsat` comes only from the
+/// real shadow / gcd tests (which over-approximate the solution set) and
+/// exhausted splinter enumeration; `Sat` comes only from the dark shadow
+/// (which under-approximates it), an exact elimination, or an empty system.
+pub fn solve(sys: &System, budget: &OmegaBudget) -> Omega {
+    let mut steps = 0usize;
+    solve_rec(sys.clone(), budget, &mut steps)
+}
+
+fn solve_rec(sys: System, budget: &OmegaBudget, steps: &mut usize) -> Omega {
+    if *steps >= budget.max_steps {
+        return Omega::Unknown;
+    }
+    *steps += 1;
+
+    // Normalize; decide variable-free constraints on the spot.
+    let mut cons: Vec<Constraint> = Vec::with_capacity(sys.constraints.len());
+    for c in &sys.constraints {
+        match normalize(c) {
+            None => {}
+            Some(Err(())) => return Omega::Unsat,
+            Some(Ok(c)) => cons.push(c),
+        }
+    }
+    if cons.is_empty() {
+        return Omega::Sat;
+    }
+    // FM duplicates aggressively; dropping repeats is free precision-wise
+    // and keeps the quadratic pair combination from compounding on copies.
+    cons.sort_by(|a, b| (&a.coeffs, a.constant, a.rel as u8).cmp(&(&b.coeffs, b.constant, b.rel as u8)));
+    cons.dedup();
+    if cons.len() > budget.max_constraints {
+        return Omega::Unknown;
+    }
+
+    // Exact equality elimination: an equality with a ±1 coefficient lets
+    // us substitute that variable away with no loss of precision.
+    if let Some((ci, vi)) = cons.iter().enumerate().find_map(|(i, c)| {
+        (c.rel == Rel::Eq)
+            .then(|| c.coeffs.iter().position(|&a| a.abs() == 1).map(|v| (i, v)))
+            .flatten()
+    }) {
+        let eqc = cons.remove(ci);
+        let a = eqc.coeffs[vi];
+        // a·x + rest = 0  ⇒  x = −rest/a; with a = ±1 this is integral.
+        // Substitute into every other constraint: coeffs_j += c_x·(−rest)·a.
+        let mut next = System::new(sys.n_vars);
+        for c in cons {
+            let cx = c.coeffs[vi];
+            if cx == 0 {
+                next.push(c);
+                continue;
+            }
+            let mut out = c.clone();
+            out.coeffs[vi] = 0;
+            // x = (−1/a)·(Σ_{j≠vi} e_j x_j + e_k); multiply through.
+            for j in 0..sys.n_vars {
+                if j == vi {
+                    continue;
+                }
+                let Some(p) = eqc.coeffs[j].checked_mul(cx) else { return Omega::Unknown };
+                out.coeffs[j] -= p * a; // a ∈ {−1, 1}: (−1/a) = −a
+            }
+            let Some(p) = eqc.constant.checked_mul(cx) else { return Omega::Unknown };
+            out.constant -= p * a;
+            next.push(out);
+        }
+        return solve_rec(next, budget, steps);
+    }
+
+    // Remaining equalities (no unit coefficient): the lite engine skips
+    // Omega's mod-elimination and rewrites them as opposing inequalities
+    // for FM to grind through. Precision is unchanged; only speed suffers,
+    // and the affine maps we target essentially never hit this path.
+    if cons.iter().any(|c| c.rel == Rel::Eq) {
+        let mut next = System::new(sys.n_vars);
+        for c in cons {
+            if c.rel == Rel::Eq {
+                next.push(Constraint::ge(c.coeffs.clone(), c.constant));
+                next.push(Constraint::le(c.coeffs, c.constant));
+            } else {
+                next.push(c);
+            }
+        }
+        return solve_rec(next, budget, steps);
+    }
+
+    // Choose the elimination variable minimizing the FM blowup.
+    let mut best: Option<(usize, usize)> = None;
+    for v in 0..sys.n_vars {
+        let lowers = cons.iter().filter(|c| c.coeffs[v] > 0).count();
+        let uppers = cons.iter().filter(|c| c.coeffs[v] < 0).count();
+        if lowers + uppers == 0 {
+            continue;
+        }
+        let cost = lowers * uppers;
+        if best.is_none_or(|(_, bc)| cost < bc) {
+            best = Some((v, cost));
+        }
+    }
+    let Some((v, _)) = best else {
+        // No variable appears — normalize() decided everything already.
+        return Omega::Sat;
+    };
+
+    let lowers: Vec<&Constraint> = cons.iter().filter(|c| c.coeffs[v] > 0).collect();
+    let uppers: Vec<&Constraint> = cons.iter().filter(|c| c.coeffs[v] < 0).collect();
+    let rest: Vec<Constraint> =
+        cons.iter().filter(|c| c.coeffs[v] == 0).cloned().collect();
+
+    // One-sided variable: any value far enough in the unbounded direction
+    // satisfies its constraints — dropping them is exact.
+    if lowers.is_empty() || uppers.is_empty() {
+        let next = System { n_vars: sys.n_vars, constraints: rest };
+        return solve_rec(next, budget, steps);
+    }
+
+    // FM pair combination. For lower `a·x ≥ A` (a = l.coeffs[v]) and upper
+    // `b·x ≤ B` (b = −u.coeffs[v]): the real shadow is `a·B − b·A ≥ 0`,
+    // which in `Σc+k ≥ 0` form is coefficient-wise `a·u + b·l`. The dark
+    // shadow subtracts `(a−1)(b−1)` from the constant.
+    let combine = |l: &Constraint, u: &Constraint, dark: bool| -> Option<Constraint> {
+        let a = l.coeffs[v];
+        let b = -u.coeffs[v];
+        let mut coeffs = vec![0; sys.n_vars];
+        for (j, c) in coeffs.iter_mut().enumerate() {
+            let p1 = a.checked_mul(u.coeffs[j])?;
+            let p2 = b.checked_mul(l.coeffs[j])?;
+            *c = p1.checked_add(p2)?;
+        }
+        let mut constant = a
+            .checked_mul(u.constant)?
+            .checked_add(b.checked_mul(l.constant)?)?;
+        if dark {
+            constant = constant.checked_sub((a - 1).checked_mul(b - 1)?)?;
+        }
+        Some(Constraint::ge(coeffs, constant))
+    };
+
+    let mut real = System { n_vars: sys.n_vars, constraints: rest.clone() };
+    let mut exact = true;
+    for l in &lowers {
+        for u in &uppers {
+            let a = l.coeffs[v];
+            let b = -u.coeffs[v];
+            if a != 1 && b != 1 {
+                exact = false;
+            }
+            match combine(l, u, false) {
+                Some(c) => real.push(c),
+                None => return Omega::Unknown,
+            }
+        }
+    }
+
+    if exact {
+        // Real shadow == dark shadow: the elimination is equivalence-
+        // preserving and the recursive answer is definitive either way.
+        return solve_rec(real, budget, steps);
+    }
+
+    match solve_rec(real, budget, steps) {
+        Omega::Unsat => return Omega::Unsat,
+        Omega::Unknown => return Omega::Unknown,
+        Omega::Sat => {}
+    }
+
+    let mut dark = System { n_vars: sys.n_vars, constraints: rest };
+    for l in &lowers {
+        for u in &uppers {
+            match combine(l, u, true) {
+                Some(c) => dark.push(c),
+                None => return Omega::Unknown,
+            }
+        }
+    }
+    match solve_rec(dark, budget, steps) {
+        Omega::Sat => return Omega::Sat,
+        Omega::Unknown => return Omega::Unknown,
+        Omega::Unsat => {}
+    }
+
+    // Gray shadow: a solution, if any, hugs *some* lower bound (Pugh): for
+    // every lower constraint `a·x ≥ A` there may be a solution with
+    // `a·x ≤ A + (a·bmax − a − bmax)/bmax`, where bmax is the largest
+    // upper coefficient. Completeness needs the splinters of every lower
+    // bound — a solution outside the dark shadow is only guaranteed close
+    // to one of them, not to any particular one.
+    let bmax = uppers.iter().map(|u| -u.coeffs[v]).max().unwrap_or(1);
+    let mut splinters = 0usize;
+    let mut saw_unknown = false;
+    for l in &lowers {
+        let a = l.coeffs[v];
+        let Some(num) = a
+            .checked_mul(bmax)
+            .and_then(|ab| ab.checked_sub(a))
+            .and_then(|x| x.checked_sub(bmax))
+        else {
+            return Omega::Unknown;
+        };
+        let max_i = floor_div(num, bmax).max(0);
+        if max_i as u128 >= budget.max_splinters as u128 {
+            return Omega::Unknown;
+        }
+        for i in 0..=max_i {
+            splinters += 1;
+            if splinters > budget.max_splinters {
+                return Omega::Unknown;
+            }
+            // a·x = A + i  ⇔  (l's form) a·x + Σ l_j x_j + l_k − i = 0.
+            let mut sp = System { n_vars: sys.n_vars, constraints: cons.clone() };
+            sp.push(Constraint::eq(l.coeffs.clone(), l.constant - i));
+            match solve_rec(sp, budget, steps) {
+                Omega::Sat => return Omega::Sat,
+                Omega::Unknown => saw_unknown = true,
+                Omega::Unsat => {}
+            }
+        }
+    }
+    if saw_unknown {
+        Omega::Unknown
+    } else {
+        Omega::Unsat
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Term bridge: affine bit-vector index maps
+// ---------------------------------------------------------------------------
+
+/// An index map decomposed as `coeff · x + offset (mod 2^w)` where
+/// `offset` does not mention `x`.
+#[derive(Clone, Copy, Debug)]
+pub struct AffineX {
+    pub coeff: u64,
+    pub offset: TermId,
+}
+
+fn contains_var(ctx: &Ctx, t: TermId, x: TermId) -> bool {
+    // Iterative DFS over the DAG; no memo needed at index-map sizes.
+    let mut stack = vec![t];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(t) = stack.pop() {
+        if t == x {
+            return true;
+        }
+        if seen.insert(t) {
+            stack.extend(ctx.args(t).iter().copied());
+        }
+    }
+    false
+}
+
+/// Decompose `t` as `coeff·x + offset (mod 2^w)` with `offset` free of
+/// `x`. Returns `None` when `t` is not affine in `x` (e.g. `x` under a
+/// division, select, or non-constant multiplier).
+pub fn affine_decompose(ctx: &mut Ctx, t: TermId, x: TermId) -> Option<AffineX> {
+    let Sort::BitVec(w) = ctx.sort(t) else { return None };
+    let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+    if t == x {
+        let zero = ctx.mk_bv_const(0, w);
+        return Some(AffineX { coeff: 1, offset: zero });
+    }
+    if !contains_var(ctx, t, x) {
+        return Some(AffineX { coeff: 0, offset: t });
+    }
+    match ctx.op(t).clone() {
+        Op::BvAdd => {
+            let args = ctx.args(t).to_vec();
+            let l = affine_decompose(ctx, args[0], x)?;
+            let r = affine_decompose(ctx, args[1], x)?;
+            let offset = ctx.mk_bv_add(l.offset, r.offset);
+            Some(AffineX { coeff: l.coeff.wrapping_add(r.coeff) & mask, offset })
+        }
+        Op::BvSub => {
+            let args = ctx.args(t).to_vec();
+            let l = affine_decompose(ctx, args[0], x)?;
+            let r = affine_decompose(ctx, args[1], x)?;
+            let offset = ctx.mk_bv_sub(l.offset, r.offset);
+            Some(AffineX { coeff: l.coeff.wrapping_sub(r.coeff) & mask, offset })
+        }
+        Op::BvNeg => {
+            let args = ctx.args(t).to_vec();
+            let a = affine_decompose(ctx, args[0], x)?;
+            let offset = ctx.mk_bv_neg(a.offset);
+            Some(AffineX { coeff: a.coeff.wrapping_neg() & mask, offset })
+        }
+        Op::BvMul => {
+            let args = ctx.args(t).to_vec();
+            let (c, sub) = if let Some(c) = ctx.const_bv(args[0]) {
+                (c, args[1])
+            } else if let Some(c) = ctx.const_bv(args[1]) {
+                (c, args[0])
+            } else {
+                return None;
+            };
+            let a = affine_decompose(ctx, sub, x)?;
+            let cterm = ctx.mk_bv_const(c, w);
+            let offset = ctx.mk_bv_mul(cterm, a.offset);
+            Some(AffineX { coeff: a.coeff.wrapping_mul(c) & mask, offset })
+        }
+        Op::BvShl => {
+            let args = ctx.args(t).to_vec();
+            let s = ctx.const_bv(args[1])?;
+            if s >= u64::from(w) {
+                return None;
+            }
+            let a = affine_decompose(ctx, args[0], x)?;
+            let offset = ctx.mk_bv_shl(a.offset, args[1]);
+            Some(AffineX { coeff: a.coeff.wrapping_shl(s as u32) & mask, offset })
+        }
+        _ => None,
+    }
+}
+
+/// Multiplicative inverse of odd `c` modulo `2^w` (Newton/Hensel lifting:
+/// each step doubles the number of correct low bits).
+pub fn mod_inverse(c: u64, w: u32) -> u64 {
+    debug_assert!(c % 2 == 1);
+    let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+    let mut inv = c; // correct mod 2^3 already (c·c ≡ 1 mod 8 for odd c)
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(c.wrapping_mul(inv)));
+    }
+    inv & mask
+}
+
+/// Invert the affine map `t = coeff·x + offset` at the concrete address
+/// `addr`: returns the witness term for `x` plus an optional side
+/// condition that must hold for the inversion to be exact.
+///
+/// * odd `coeff`: `x = coeff⁻¹·(addr − offset)` — a bijection mod 2^w, no
+///   side condition;
+/// * `coeff = 2^s·c'` with odd `c'`: `x = c'⁻¹·((addr − offset) >> s)`
+///   under the divisibility side condition `(addr − offset) & (2^s−1) = 0`;
+/// * `coeff = 0` (or a non-affine map): no inversion.
+pub fn invert_affine(
+    ctx: &mut Ctx,
+    t: TermId,
+    x: TermId,
+    addr: TermId,
+) -> Option<(TermId, Option<TermId>)> {
+    let Sort::BitVec(w) = ctx.sort(t) else { return None };
+    let aff = affine_decompose(ctx, t, x)?;
+    if aff.coeff == 0 {
+        return None;
+    }
+    let diff = ctx.mk_bv_sub(addr, aff.offset);
+    let s = aff.coeff.trailing_zeros();
+    if s == 0 {
+        let inv = mod_inverse(aff.coeff, w);
+        let invt = ctx.mk_bv_const(inv, w);
+        let wit = ctx.mk_bv_mul(invt, diff);
+        return Some((wit, None));
+    }
+    if s >= w {
+        return None;
+    }
+    let odd = aff.coeff >> s;
+    let inv = mod_inverse(odd, w);
+    let invt = ctx.mk_bv_const(inv, w);
+    let st = ctx.mk_bv_const(u64::from(s), w);
+    let shifted = ctx.mk_bv_lshr(diff, st);
+    let wit = ctx.mk_bv_mul(invt, shifted);
+    // Divisibility: the low s bits of (addr − offset) must be zero.
+    let lowmask = ctx.mk_bv_const((1u64 << s) - 1, w);
+    let low = ctx.mk_bv_and(diff, lowmask);
+    let zero = ctx.mk_bv_const(0, w);
+    let side = ctx.mk_eq(low, zero);
+    Some((wit, Some(side)))
+}
+
+/// Quantifier-free membership constraint for a symbolic-stride iteration
+/// space: `k ∈ {start, start+step, …}` bounded by `bound`. Emits
+/// `start ≤ k ∧ k < bound (or ≤) ∧ (k − start) mod step = 0 ∧ step ≠ 0` —
+/// exactly the constraint set the Omega engine validates as affine, with
+/// the solver re-checking it in modular arithmetic.
+pub fn stride_membership(
+    ctx: &mut Ctx,
+    k: TermId,
+    start: TermId,
+    bound: TermId,
+    step: TermId,
+    inclusive: bool,
+) -> TermId {
+    let ge = ctx.mk_bv_ule(start, k);
+    let ub = if inclusive { ctx.mk_bv_ule(k, bound) } else { ctx.mk_bv_ult(k, bound) };
+    let diff = ctx.mk_bv_sub(k, start);
+    let rem = ctx.mk_bv_urem(diff, step);
+    let Sort::BitVec(w) = ctx.sort(k) else { unreachable!("stride var is a bit-vector") };
+    let zero = ctx.mk_bv_const(0, w);
+    let aligned = ctx.mk_eq(rem, zero);
+    let step_nz = ctx.mk_neq(step, zero);
+    let c1 = ctx.mk_and(ge, ub);
+    let c2 = ctx.mk_and(aligned, step_nz);
+    ctx.mk_and(c1, c2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sat(sys: &System) -> Omega {
+        solve(sys, &OmegaBudget::default())
+    }
+
+    #[test]
+    fn empty_system_is_sat() {
+        assert_eq!(sat(&System::new(3)), Omega::Sat);
+    }
+
+    #[test]
+    fn contradictory_bounds_are_unsat() {
+        // x ≥ 5 ∧ x ≤ 3
+        let mut s = System::new(1);
+        s.push(Constraint::ge(vec![1], -5));
+        s.push(Constraint::le(vec![1], -3));
+        assert_eq!(sat(&s), Omega::Unsat);
+    }
+
+    #[test]
+    fn gcd_test_kills_unaligned_equality() {
+        // 2x + 4y = 1 has no integer solution.
+        let mut s = System::new(2);
+        s.push(Constraint::eq(vec![2, 4], -1));
+        assert_eq!(sat(&s), Omega::Unsat);
+    }
+
+    #[test]
+    fn dark_shadow_gap() {
+        // 2x ≥ 5 ∧ 2x ≤ 5: real shadow is sat (x = 2.5), integers are not.
+        let mut s = System::new(1);
+        s.push(Constraint::ge(vec![2], -5));
+        s.push(Constraint::le(vec![2], -5));
+        assert_eq!(sat(&s), Omega::Unsat);
+    }
+
+    #[test]
+    fn gray_shadow_finds_the_lattice_point() {
+        // 3x ≥ 7 ∧ 3x ≤ 9: dark shadow (3·(−7) − 3·... ) misses x = 3.
+        let mut s = System::new(1);
+        s.push(Constraint::ge(vec![3], -7));
+        s.push(Constraint::le(vec![3], -9));
+        assert_eq!(sat(&s), Omega::Sat);
+    }
+
+    #[test]
+    fn stride_disjointness_two_vars() {
+        // 4x + 1 = 4y + 3 (two stride-4 classes) is unsat.
+        let mut s = System::new(2);
+        s.push(Constraint::eq(vec![4, -4], -2));
+        assert_eq!(sat(&s), Omega::Unsat);
+        // 4x + 1 = 2y + 1 is sat (y = 2x).
+        let mut s = System::new(2);
+        s.push(Constraint::eq(vec![4, -2], 0));
+        assert_eq!(sat(&s), Omega::Sat);
+    }
+
+    #[test]
+    fn mod_inverse_is_exact_at_every_width() {
+        for w in [4u32, 8, 16, 32, 64] {
+            let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+            for c in [1u64, 3, 5, 7, 0x55, 0xABCDEF1, u64::MAX] {
+                let c = (c & mask) | 1;
+                let inv = mod_inverse(c, w);
+                assert_eq!(c.wrapping_mul(inv) & mask, 1, "c={c:#x} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn affine_decompose_and_invert_roundtrip() {
+        let mut ctx = Ctx::default();
+        let x = ctx.mk_var("x", Sort::BitVec(8));
+        let three = ctx.mk_bv_const(3, 8);
+        let seven = ctx.mk_bv_const(7, 8);
+        let mul = ctx.mk_bv_mul(three, x);
+        let t = ctx.mk_bv_add(mul, seven); // 3x + 7
+        let aff = affine_decompose(&mut ctx, t, x).unwrap();
+        assert_eq!(aff.coeff, 3);
+        // Invert at addr = 3·5 + 7 = 22: witness must fold to 5.
+        let addr = ctx.mk_bv_const(22, 8);
+        let (wit, side) = invert_affine(&mut ctx, t, x, addr).unwrap();
+        assert!(side.is_none(), "odd coefficient needs no side condition");
+        assert_eq!(ctx.const_bv(wit), Some(5));
+    }
+
+    #[test]
+    fn invert_even_coefficient_has_divisibility_side() {
+        let mut ctx = Ctx::default();
+        let x = ctx.mk_var("x", Sort::BitVec(8));
+        let four = ctx.mk_bv_const(4, 8);
+        let one = ctx.mk_bv_const(1, 8);
+        let mul = ctx.mk_bv_mul(four, x);
+        let t = ctx.mk_bv_add(mul, one); // 4x + 1
+        // addr = 4·6 + 1 = 25 inverts to 6 with the side condition true.
+        let addr = ctx.mk_bv_const(25, 8);
+        let (wit, side) = invert_affine(&mut ctx, t, x, addr).unwrap();
+        assert_eq!(ctx.const_bv(wit), Some(6));
+        let side = side.expect("even coefficient requires a side condition");
+        assert_eq!(ctx.const_bool(side), Some(true));
+        // addr = 24 is not in the image of 4x + 1: side condition is false.
+        let addr = ctx.mk_bv_const(24, 8);
+        let (_, side) = invert_affine(&mut ctx, t, x, addr).unwrap();
+        assert_eq!(ctx.const_bool(side.unwrap()), Some(false));
+    }
+
+    #[test]
+    fn non_affine_maps_are_rejected() {
+        let mut ctx = Ctx::default();
+        let x = ctx.mk_var("x", Sort::BitVec(8));
+        let sq = ctx.mk_bv_mul(x, x);
+        assert!(affine_decompose(&mut ctx, sq, x).is_none());
+        let y = ctx.mk_var("y", Sort::BitVec(8));
+        let div = ctx.mk_bv_udiv(x, y);
+        assert!(affine_decompose(&mut ctx, div, x).is_none());
+    }
+}

@@ -12,6 +12,18 @@
 //! and the ∃ is eliminated by introducing a fresh variable (there is at most
 //! one such `t` because `g` is increasing). The monotonicity premise itself
 //! is returned as a separate proof obligation.
+//!
+//! # Domain constraint
+//!
+//! All arithmetic is fixed-width bit-vector arithmetic: the equivalence
+//! above is only meaningful when `g` does not wrap modulo `2^w` on
+//! `[0..n)` — which is exactly what the monotonicity obligation enforces
+//! (`g(t) <u g(t+1)` fails at any wrapping step). The one place the
+//! *eliminated formula itself* could wrap is the `g(n−1)` boundary term
+//! when `n = 0`: `n−1` wraps to `2^w−1` and the boundary disjuncts become
+//! garbage. An empty domain makes the ∀ vacuously true, so the formula
+//! carries an explicit `n = 0` disjunct rather than relying on the wrapped
+//! boundary terms.
 
 use pug_smt::{Ctx, Sort, TermId};
 
@@ -64,7 +76,12 @@ pub fn eliminate_no_cover(
     let gap = ctx.mk_and(in_dom, gap0);
 
     let f0 = ctx.mk_or(below, above);
-    let formula = ctx.mk_or(f0, gap);
+    let f1 = ctx.mk_or(f0, gap);
+    // n = 0: empty domain, the ∀ holds vacuously. Without this disjunct the
+    // g(n−1) boundary term above wraps to g(2^w−1) and the formula can
+    // wrongly claim the (vacuously uncovered) address is covered.
+    let empty = ctx.mk_eq(n, zero);
+    let formula = ctx.mk_or(empty, f1);
 
     // Monotonicity obligation over another fresh index.
     let tm = ctx.fresh_var(&format!("mono!{tag}"), Sort::BitVec(w));

@@ -49,6 +49,35 @@ impl fmt::Display for BugKind {
     }
 }
 
+/// Two-sided race classification (after Liew et al., "Provable GPU
+/// Data-Races in Static Race Detection"): a `Sat` race query always yields
+/// a model, but only a model whose schedule *replays* concretely is a
+/// proof the race manifests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaceClass {
+    /// A concrete witness schedule (configuration, thread pair, addresses,
+    /// interleaving) was extracted from the model and validated by
+    /// replaying the kernel through the `pug-ir` interpreter.
+    Provable {
+        /// The validated schedule, rendered for the report.
+        schedule: String,
+    },
+    /// The model exists but the replay was blocked (unsupported construct,
+    /// symbolic-only scalar, replay cap) — the race is reported but its
+    /// schedule is unconfirmed.
+    Potential {
+        /// Why the replay could not confirm the schedule.
+        blocked: String,
+    },
+}
+
+impl RaceClass {
+    /// True for [`RaceClass::Provable`].
+    pub fn is_provable(&self) -> bool {
+        matches!(self, RaceClass::Provable { .. })
+    }
+}
+
 /// A concrete bug witness: the SMT model restricted to the relevant
 /// variables (thread ids, configuration, inputs).
 #[derive(Clone, Debug)]
@@ -61,18 +90,39 @@ pub struct BugReport {
     /// The model rendered with variable names (configuration, thread ids,
     /// input values) — available without the originating term context.
     pub witness: String,
+    /// Race classification, present only for [`BugKind::DataRace`]
+    /// reports from the parameterized race checker.
+    pub race: Option<RaceClass>,
 }
 
 impl BugReport {
     /// Build a report, rendering the witness against `ctx`.
     pub fn new(kind: BugKind, detail: String, model: Model, ctx: &Ctx) -> BugReport {
         let witness = model.render(ctx);
-        BugReport { kind, detail, model, witness }
+        BugReport { kind, detail, model, witness, race: None }
+    }
+
+    /// Attach a race classification.
+    pub fn with_race(mut self, race: RaceClass) -> BugReport {
+        self.race = Some(race);
+        self
     }
 
     /// Render the full report for display.
     pub fn render(&self) -> String {
-        format!("{}: {}\nwitness:\n{}", self.kind, self.detail, self.witness)
+        let mut s = format!("{}: {}\nwitness:\n{}", self.kind, self.detail, self.witness);
+        match &self.race {
+            Some(RaceClass::Provable { schedule }) => {
+                s.push_str("\nclassification: provable (schedule validated by concrete replay)");
+                s.push_str("\nwitness schedule:\n");
+                s.push_str(schedule.trim_end());
+            }
+            Some(RaceClass::Potential { blocked }) => {
+                s.push_str(&format!("\nclassification: potential ({blocked})"));
+            }
+            None => {}
+        }
+        s
     }
 }
 

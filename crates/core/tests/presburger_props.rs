@@ -1,0 +1,178 @@
+//! Property fuzzing for the Omega-test-lite engine (`pugpara::presburger`):
+//! random affine systems per rule family, the engine's answer checked
+//! against brute-force enumeration over a small bounded domain.
+//!
+//! Two contracts, matching the engine's role in the verifier:
+//!
+//! * **Soundness direction** — `solve` may *never* answer `Unsat` while a
+//!   model exists (a wrong `Unsat` would let the checker claim coverage
+//!   that is not there). Checked on every family, bounded or not.
+//! * **Bounded exactness** — when the system itself confines every
+//!   variable to the enumerated box, `Sat`/`Unsat` must agree with
+//!   enumeration exactly (`Unknown` is always allowed: the engine is
+//!   budgeted, and the SMT solver re-validates whatever it produces).
+//!
+//! Plus determinism/idempotence: the answer is a pure function of the
+//! system, and re-solving or permuting constraints cannot flip a decided
+//! answer to the opposite decided answer.
+
+use pug_testutil::TestRng;
+use pugpara::presburger::{solve, Coef, Constraint, Omega, OmegaBudget, System};
+
+const BOX: Coef = 6;
+const SYSTEMS_PER_FAMILY: usize = 300;
+
+#[derive(Clone, Copy, Debug)]
+enum Family {
+    /// Inequalities only: real/dark shadow elimination.
+    Ge,
+    /// One equality with a ±1 coefficient: unit substitution.
+    EqUnit,
+    /// Equalities with common factors: the gcd divisibility test.
+    EqGcd,
+    /// Opposing coefficient-≥2 bounds on a shared variable: the dark
+    /// shadow is inexact and the gray-shadow splinters must fire.
+    Shadow,
+}
+
+const FAMILIES: [Family; 4] = [Family::Ge, Family::EqUnit, Family::EqGcd, Family::Shadow];
+
+fn coef(rng: &mut TestRng) -> Coef {
+    rng.gen_range(-4i64..=4) as Coef
+}
+
+fn random_system(rng: &mut TestRng, family: Family, boxed: bool) -> System {
+    let n_vars = rng.gen_range(1usize..=3);
+    let mut sys = System::new(n_vars);
+    let n_cons = rng.gen_range(1usize..=4);
+    let cvec = |rng: &mut TestRng| -> Vec<Coef> { (0..n_vars).map(|_| coef(rng)).collect() };
+    for _ in 0..n_cons {
+        let coeffs = cvec(rng);
+        let k = rng.gen_range(-10i64..=10) as Coef;
+        sys.push(Constraint::ge(coeffs, k));
+    }
+    match family {
+        Family::Ge => {}
+        Family::EqUnit => {
+            let mut coeffs = cvec(rng);
+            let j = rng.gen_range(0usize..n_vars);
+            coeffs[j] = if rng.gen_bool(0.5) { 1 } else { -1 };
+            sys.push(Constraint::eq(coeffs, rng.gen_range(-10i64..=10) as Coef));
+        }
+        Family::EqGcd => {
+            let g = rng.gen_range(2i64..=4) as Coef;
+            let coeffs: Vec<Coef> = (0..n_vars).map(|_| g * coef(rng)).collect();
+            // Half the time force a constant the gcd cannot divide.
+            let k = if rng.gen_bool(0.5) {
+                g * (rng.gen_range(-3i64..=3) as Coef) + 1
+            } else {
+                g * (rng.gen_range(-3i64..=3) as Coef)
+            };
+            sys.push(Constraint::eq(coeffs, k));
+        }
+        Family::Shadow => {
+            let x = rng.gen_range(0usize..n_vars);
+            let a = rng.gen_range(2i64..=4) as Coef;
+            let b = rng.gen_range(2i64..=4) as Coef;
+            let lo = rng.gen_range(-8i64..=8) as Coef;
+            let hi = rng.gen_range(-8i64..=8) as Coef;
+            let mut l = vec![0; n_vars];
+            l[x] = a;
+            sys.push(Constraint::ge(l, -lo)); // a·x ≥ lo
+            let mut u = vec![0; n_vars];
+            u[x] = b;
+            sys.push(Constraint::le(u, hi)); // b·x ≤ hi
+        }
+    }
+    if boxed {
+        for v in 0..n_vars {
+            let mut c = vec![0; n_vars];
+            c[v] = 1;
+            sys.push(Constraint::ge(c.clone(), BOX)); // x ≥ −BOX
+            sys.push(Constraint::le(c, BOX)); // x ≤ BOX
+        }
+    }
+    sys
+}
+
+/// `Unsat` must never contradict an enumerated model — on any family,
+/// boxed or not (enumeration inside the box is a sound refuter either
+/// way).
+#[test]
+fn never_unsat_when_a_model_exists() {
+    let budget = OmegaBudget::default();
+    for family in FAMILIES {
+        let mut rng = TestRng::seed_from_u64(0xB0A7 ^ family as u64);
+        for case in 0..SYSTEMS_PER_FAMILY {
+            let boxed = case % 2 == 0;
+            let sys = random_system(&mut rng, family, boxed);
+            if solve(&sys, &budget) == Omega::Unsat {
+                assert!(
+                    !sys.brute_force_sat(-BOX, BOX),
+                    "{family:?}/{case}: engine says Unsat but a model exists in the box\n{sys:?}"
+                );
+            }
+        }
+    }
+}
+
+/// On box-bounded systems the decided answers must match enumeration
+/// exactly, and the budget must decide the overwhelming majority.
+#[test]
+fn boxed_systems_match_enumeration() {
+    let budget = OmegaBudget::default();
+    for family in FAMILIES {
+        let mut rng = TestRng::seed_from_u64(0xE4AC7 ^ (family as u64) << 8);
+        let mut unknowns = 0usize;
+        for case in 0..SYSTEMS_PER_FAMILY {
+            let sys = random_system(&mut rng, family, true);
+            let want = sys.brute_force_sat(-BOX, BOX);
+            match solve(&sys, &budget) {
+                Omega::Sat => assert!(
+                    want,
+                    "{family:?}/{case}: engine says Sat, enumeration finds nothing\n{sys:?}"
+                ),
+                Omega::Unsat => assert!(
+                    !want,
+                    "{family:?}/{case}: engine says Unsat, enumeration has a model\n{sys:?}"
+                ),
+                Omega::Unknown => unknowns += 1,
+            }
+        }
+        assert!(
+            unknowns <= SYSTEMS_PER_FAMILY / 10,
+            "{family:?}: {unknowns}/{SYSTEMS_PER_FAMILY} Unknowns — the budget should \
+             decide boxed systems this small"
+        );
+    }
+}
+
+/// The answer is a pure function of the system (idempotence), and
+/// constraint order cannot flip one decided answer to the other.
+#[test]
+fn deciding_is_deterministic_and_order_insensitive() {
+    let budget = OmegaBudget::default();
+    for family in FAMILIES {
+        let mut rng = TestRng::seed_from_u64(0x1DE0 ^ (family as u64) << 16);
+        for case in 0..SYSTEMS_PER_FAMILY {
+            let sys = random_system(&mut rng, family, case % 2 == 0);
+            let first = solve(&sys, &budget);
+            assert_eq!(first, solve(&sys, &budget), "{family:?}/{case}: not idempotent");
+
+            let mut rev = System::new(sys.n_vars);
+            for c in sys.constraints.iter().rev() {
+                rev.push(c.clone());
+            }
+            let rebuilt = solve(&rev, &budget);
+            let contradicts = matches!(
+                (first, rebuilt),
+                (Omega::Sat, Omega::Unsat) | (Omega::Unsat, Omega::Sat)
+            );
+            assert!(
+                !contradicts,
+                "{family:?}/{case}: constraint order flips the decision \
+                 ({first:?} vs {rebuilt:?})\n{sys:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Regression: the monotone-map quantifier elimination must agree with
+//! explicit enumeration at every address of a *small* bit-width — in
+//! particular at `n = 0`, where the `g(n−1)` boundary term wraps to
+//! `g(2^w−1)` and (before the fix) the eliminated formula could wrongly
+//! claim a vacuously-uncovered address was covered.
+//!
+//! At width 4 the whole space is enumerable: for each map family and each
+//! domain size we assert, for all 16 addresses, that the ∃-closed
+//! eliminated formula is satisfiable exactly when the address is not in
+//! the image `{g(t) : t < n}`.
+
+use pug_smt::{check, Budget, Ctx, TermId};
+use pugpara::qelim::eliminate_no_cover;
+
+const W: u32 = 4;
+
+/// A map family g(t) = m·t + c (mod 2^4) with a human-readable name.
+struct Family {
+    name: &'static str,
+    mul: u64,
+    add: u64,
+}
+
+impl Family {
+    fn apply(&self, ctx: &mut Ctx, t: TermId) -> TermId {
+        let m = ctx.mk_bv_const(self.mul, W);
+        let c = ctx.mk_bv_const(self.add, W);
+        let p = ctx.mk_bv_mul(m, t);
+        ctx.mk_bv_add(p, c)
+    }
+
+    fn concrete(&self, t: u64) -> u64 {
+        (self.mul.wrapping_mul(t).wrapping_add(self.add)) & 0xF
+    }
+
+    /// True iff g is strictly increasing (no wrap) on [0..n).
+    fn monotone_on(&self, n: u64) -> bool {
+        (1..n).all(|t| self.concrete(t - 1) < self.concrete(t))
+    }
+}
+
+fn families() -> Vec<Family> {
+    vec![
+        Family { name: "identity", mul: 1, add: 0 },
+        Family { name: "stride2", mul: 2, add: 1 },
+        Family { name: "offset9", mul: 1, add: 9 },
+        Family { name: "stride3", mul: 3, add: 0 },
+    ]
+}
+
+/// Check one (family, n) pair across every address of the 4-bit space.
+fn check_family(fam: &Family, nv: u64) {
+    assert!(fam.monotone_on(nv), "{} is not monotone on [0..{nv})", fam.name);
+    let image: Vec<u64> = (0..nv).map(|t| fam.concrete(t)).collect();
+    for addr in 0..16u64 {
+        let mut ctx = Ctx::new();
+        let a = ctx.mk_bv_const(addr, W);
+        let n = ctx.mk_bv_const(nv, W);
+        let mut g = |ctx: &mut Ctx, t: TermId| fam.apply(ctx, t);
+        let nc = eliminate_no_cover(&mut ctx, &mut g, a, n, "wrap");
+        let uncovered = !image.contains(&addr);
+        let sat = check(&mut ctx, &[nc.formula], &Budget::unlimited()).is_sat();
+        assert_eq!(
+            sat, uncovered,
+            "{}: n={nv} addr={addr}: eliminated formula said {} but enumeration says {}",
+            fam.name,
+            if sat { "uncovered" } else { "covered" },
+            if uncovered { "uncovered" } else { "covered" },
+        );
+    }
+}
+
+#[test]
+fn empty_domain_is_vacuously_uncovered() {
+    // n = 0: every address is uncovered; before the fix the wrapped
+    // g(n−1) = g(15) boundary could make the formula UNSAT.
+    for fam in families() {
+        check_family(&fam, 0);
+    }
+}
+
+#[test]
+fn singleton_domain_matches_enumeration() {
+    for fam in families() {
+        check_family(&fam, 1);
+    }
+}
+
+#[test]
+fn interior_domains_match_enumeration() {
+    // Per-family domain sizes chosen to stay monotone (no image wrap) at
+    // width 4: identity up to 15, stride2 up to 7 (g(6)=13), offset9 up to
+    // 6 (g(5)=14), stride3 up to 5 (g(4)=12).
+    let cases: &[(&str, &[u64])] = &[
+        ("identity", &[7, 15]),
+        ("stride2", &[4, 7]),
+        ("offset9", &[3, 6]),
+        ("stride3", &[2, 5]),
+    ];
+    for fam in families() {
+        let sizes = cases.iter().find(|(n, _)| *n == fam.name).unwrap().1;
+        for &nv in sizes {
+            check_family(&fam, nv);
+        }
+    }
+}

@@ -28,6 +28,11 @@ pub enum LoopSpace {
     GeometricDown { start: Expr, ratio: u64 },
     /// `k = start; k < bound (or <=); k += step`.
     LinearUp { start: Expr, bound: Expr, step: u64, inclusive: bool },
+    /// `k = start; k < bound (or <=); k += step` with a *symbolic* step
+    /// (e.g. the grid-stride idiom `i += bdim.x`). Only checkers with a
+    /// Presburger-capable membership encoding can use this space; others
+    /// must treat it like an unrecognized header.
+    LinearUpSym { start: Expr, bound: Expr, step: Expr, inclusive: bool },
 }
 
 /// A normalized loop header.
@@ -67,11 +72,10 @@ pub fn normalize_header(init: &Stmt, cond: &Expr, update: &Stmt) -> Option<Heade
         }
         _ => return None,
     };
-    let step_const = const_of(upd_rhs)?;
-
     match upd_op {
         // k *= r  or  k <<= s
         BinOp::Mul | BinOp::Shl => {
+            let step_const = const_of(upd_rhs)?;
             let ratio = if upd_op == BinOp::Shl { 1u64.checked_shl(step_const as u32)? } else { step_const };
             if ratio < 2 {
                 return None;
@@ -84,6 +88,7 @@ pub fn normalize_header(init: &Stmt, cond: &Expr, update: &Stmt) -> Option<Heade
         }
         // k /= r  or  k >>= s
         BinOp::Div | BinOp::Shr => {
+            let step_const = const_of(upd_rhs)?;
             let ratio = if upd_op == BinOp::Shr { 1u64.checked_shl(step_const as u32)? } else { step_const };
             if ratio < 2 {
                 return None;
@@ -94,13 +99,21 @@ pub fn normalize_header(init: &Stmt, cond: &Expr, update: &Stmt) -> Option<Heade
             }
             Some(Header { var, space: LoopSpace::GeometricDown { start, ratio } })
         }
-        // k += c
+        // k += c  (constant step)  or  k += e  (symbolic step)
         BinOp::Add => {
             let (bound, strict) = upper_bound(cond, &var)?;
-            Some(Header {
-                var,
-                space: LoopSpace::LinearUp { start, bound, step: step_const, inclusive: !strict },
-            })
+            let space = match const_of(upd_rhs) {
+                Some(step_const) => {
+                    LoopSpace::LinearUp { start, bound, step: step_const, inclusive: !strict }
+                }
+                None => LoopSpace::LinearUpSym {
+                    start,
+                    bound,
+                    step: upd_rhs.clone(),
+                    inclusive: !strict,
+                },
+            };
+            Some(Header { var, space })
         }
         _ => None,
     }
@@ -220,6 +233,18 @@ mod tests {
     fn identical_linear_headers_align_same_order() {
         let a = header_of("void k(int *d) { for (int i = 0; i < bdim.x; i += 1) { d[i] = 0; } }");
         let b = header_of("void k(int *d) { for (int i = 0; i < bdim.x; i += 1) { d[i] = 1; } }");
+        assert_eq!(align_headers(&a, &b), Some(Alignment::SameOrder));
+    }
+
+    #[test]
+    fn symbolic_stride_header_normalizes_and_aligns() {
+        let a = header_of(
+            "void k(int *d) { for (unsigned int i = 0; i < bdim.x * 4; i += bdim.x) { d[i] = 0; } }",
+        );
+        assert!(matches!(a.space, LoopSpace::LinearUpSym { .. }));
+        let b = header_of(
+            "void k(int *d) { for (unsigned int i = 0; i < bdim.x * 4; i += bdim.x) { d[i] = 1; } }",
+        );
         assert_eq!(align_headers(&a, &b), Some(Alignment::SameOrder));
     }
 

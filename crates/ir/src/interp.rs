@@ -44,6 +44,20 @@ pub struct ConcreteInputs {
     pub arrays: HashMap<String, HashMap<u64, u64>>,
 }
 
+/// One logged array access from a [`run_concrete_logged`] replay: which
+/// thread touched which cell of which array, in which barrier interval.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConcreteAccess {
+    pub array: String,
+    pub index: u64,
+    pub is_write: bool,
+    pub tid: [u64; 3],
+    pub bid: [u64; 2],
+    /// Barrier-interval ordinal (accesses in the same interval are
+    /// unordered by any barrier — the race-witness replay keys on this).
+    pub bi: usize,
+}
+
 /// Run `kernel` concretely; returns the final state. Assumption/assertion
 /// statements are ignored (callers choose inputs satisfying them).
 pub fn run_concrete(
@@ -51,6 +65,30 @@ pub fn run_concrete(
     types: &TypeInfo,
     cfg: &GpuConfig,
     inputs: &ConcreteInputs,
+) -> Result<ConcreteState, IrError> {
+    run_impl(kernel, types, cfg, inputs, None)
+}
+
+/// [`run_concrete`] plus a full per-thread array access log — the concrete
+/// oracle behind the provable-race classification: a witness schedule is
+/// only *provable* when this replay exhibits the conflicting accesses.
+pub fn run_concrete_logged(
+    kernel: &Kernel,
+    types: &TypeInfo,
+    cfg: &GpuConfig,
+    inputs: &ConcreteInputs,
+) -> Result<(ConcreteState, Vec<ConcreteAccess>), IrError> {
+    let mut log = Vec::new();
+    let st = run_impl(kernel, types, cfg, inputs, Some(&mut log))?;
+    Ok((st, log))
+}
+
+fn run_impl(
+    kernel: &Kernel,
+    types: &TypeInfo,
+    cfg: &GpuConfig,
+    inputs: &ConcreteInputs,
+    mut log: Option<&mut Vec<ConcreteAccess>>,
 ) -> Result<ConcreteState, IrError> {
     let w = cfg.bits;
     let cenv = ConstEnv::from_config(cfg);
@@ -87,9 +125,17 @@ pub fn run_concrete(
         }
     }
 
-    for bi in &bis {
+    for (bi_ix, bi) in bis.iter().enumerate() {
         for t in &mut threads {
-            let mut m = Interp { w, cfg, types, state: &mut state, thread: t };
+            let mut m = Interp {
+                w,
+                cfg,
+                types,
+                state: &mut state,
+                thread: t,
+                bi: bi_ix,
+                log: log.as_deref_mut(),
+            };
             m.block(bi)?;
         }
     }
@@ -109,6 +155,23 @@ struct Interp<'a> {
     types: &'a TypeInfo,
     state: &'a mut ConcreteState,
     thread: &'a mut Thread,
+    bi: usize,
+    log: Option<&'a mut Vec<ConcreteAccess>>,
+}
+
+impl Interp<'_> {
+    fn log_access(&mut self, array: &str, index: u64, is_write: bool) {
+        if let Some(log) = self.log.as_deref_mut() {
+            log.push(ConcreteAccess {
+                array: array.to_string(),
+                index,
+                is_write,
+                tid: self.thread.tid,
+                bid: self.thread.bid,
+                bi: self.bi,
+            });
+        }
+    }
 }
 
 impl Interp<'_> {
@@ -161,10 +224,12 @@ impl Interp<'_> {
                         let new = match op {
                             None => rv,
                             Some(bop) => {
+                                self.log_access(&lhs.name, idx, false);
                                 let old = self.state.read(&lhs.name, idx);
                                 self.binop(*bop, old, rv, elem.is_signed())
                             }
                         };
+                        self.log_access(&lhs.name, idx, true);
                         self.state.write(&lhs.name, idx, truncate(new, self.w));
                         Ok(())
                     }
@@ -233,6 +298,7 @@ impl Interp<'_> {
             Expr::Index { base, indices } => {
                 let lv = LValue { name: base.clone(), indices: indices.clone() };
                 let idx = self.index(&lv)?;
+                self.log_access(base, idx, false);
                 self.state.read(base, idx)
             }
             Expr::Unary { op, arg } => {

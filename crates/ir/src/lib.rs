@@ -25,6 +25,6 @@ pub use align::{align_headers, normalize_header, Alignment, Header, LoopSpace};
 pub use config::{BoundConfig, Extent, GpuConfig};
 pub use consteval::ConstEnv;
 pub use error::IrError;
-pub use interp::{run_concrete, ConcreteInputs, ConcreteState};
+pub use interp::{run_concrete, run_concrete_logged, ConcreteAccess, ConcreteInputs, ConcreteState};
 pub use exec::{Access, Env, ExecOutputs, Machine, Memory, StoreMemory, Val};
 pub use structure::{contains_barrier, split_bis, split_segments, unroll_barrier_loops, Segment};

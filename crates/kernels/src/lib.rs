@@ -26,6 +26,7 @@ pub mod matmul;
 pub mod reduction;
 pub mod scalar_product;
 pub mod scan;
+pub mod stride;
 pub mod transpose;
 pub mod vector_add;
 
@@ -59,6 +60,13 @@ pub fn all_kernels() -> Vec<CorpusEntry> {
         CorpusEntry { name: "matmul_naive", source: matmul::NAIVE, buggy: false },
         CorpusEntry { name: "matmul_tiled", source: matmul::TILED, buggy: false },
         CorpusEntry { name: "bitonic_sort", source: bitonic::KERNEL, buggy: false },
+        CorpusEntry { name: "grid_stride", source: stride::GRID_STRIDE, buggy: false },
+        CorpusEntry {
+            name: "grid_stride_reassoc",
+            source: stride::GRID_STRIDE_REASSOC,
+            buggy: false,
+        },
+        CorpusEntry { name: "param_race", source: stride::PARAM_RACE, buggy: true },
         CorpusEntry { name: "vector_add", source: vector_add::KERNEL, buggy: false },
         CorpusEntry { name: "vector_add_buggy", source: vector_add::BUGGY, buggy: true },
     ]

@@ -17,7 +17,12 @@
 //!   performs exactly one lookup —
 //!   `cache.lookup_hits + cache.lookup_misses ==
 //!    queries.total − queries.discharged_by_rewrite`;
-//! * rung-outcome counters sum to the number of rung records.
+//! * rung-outcome counters sum to the number of rung records;
+//! * race classification partitions: `races.provable + races.potential ==
+//!   races.reported`;
+//! * qelim counters: with the generalized elimination on (the default) no
+//!   residual formula is ever dropped (`qelim.residual_dropped == 0`), and
+//!   the drop/generalize counters only move when the ladder actually ran.
 
 use pug_obs::{validate, EventKind, MetricsRegistry, TraceSink};
 use pugpara::runner::{run_resilient, RunnerOptions};
@@ -152,6 +157,28 @@ fn metrics_fuzz(obligation_parallelism: usize) {
             report.provenance.rungs.len(),
             "{name}: rung counters != ladder records\n{}",
             report.provenance.render()
+        );
+
+        // Race classification partitions the reported races (the aux race
+        // pass classifies every Sat race as provable or potential).
+        let reported = snap.counter("races.reported");
+        let provable = snap.counter("races.provable");
+        let potential = snap.counter("races.potential");
+        assert_eq!(
+            reported,
+            provable + potential,
+            "{name}: race classes do not partition races.reported"
+        );
+        if report.provenance.passes.is_empty() {
+            assert_eq!(reported, 0, "{name}: races reported without an aux pass");
+        }
+
+        // Qelim counters: the generalized elimination is on by default, so
+        // the legacy residual-drop path must never fire.
+        assert_eq!(
+            snap.counter("qelim.residual_dropped"),
+            0,
+            "{name}: residual dropped while the generalized elimination is enabled"
         );
     }
 }

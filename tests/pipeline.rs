@@ -24,11 +24,15 @@ fn corpus_encodes_nonparam() {
             let mut ctx = pug_smt::Ctx::new();
             // 2×2 block covers both 1-D and 2-D kernels; power-of-two size
             // satisfies the corpus requires-clauses. The tiled matmul's
-            // barrier loop is bounded by the `wA` parameter: concretize it
-            // (the paper's "+C." remedy).
+            // barrier loop is bounded by the `wA` parameter and the stride
+            // family's `paramRace` by `p`: concretize them (the paper's
+            // "+C." remedy).
             let cfg = GpuConfig::concrete_2d(8, 2, 2);
-            let conc: HashMap<String, u64> =
-                HashMap::from([("wA".to_string(), 4u64), ("wB".to_string(), 2u64)]);
+            let conc: HashMap<String, u64> = HashMap::from([
+                ("wA".to_string(), 4u64),
+                ("wB".to_string(), 2u64),
+                ("p".to_string(), 2u64),
+            ]);
             pugpara::nonparam::encode_with(&mut ctx, &unit, &cfg, "s", &conc)
                 .unwrap_or_else(|err| panic!("{} fails to encode: {err}", e.name));
         }

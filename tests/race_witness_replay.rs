@@ -1,0 +1,236 @@
+//! Replay validation of race classifications: every race the checker
+//! calls *provable* must come with a witness schedule that a fresh,
+//! independent run of the `pug-ir` interpreter confirms — the schedule is
+//! parsed back out of the report and replayed from scratch here, so the
+//! test does not trust the classifier's own replay. A kernel whose racy
+//! write sits behind a construct the interpreter cannot execute (a
+//! barrier loop bounded by a scalar parameter) must classify *potential*,
+//! never provable.
+
+use pug_ir::{ConcreteInputs, Extent, GpuConfig};
+use pug_testutil::KernelGen;
+use pugpara::equiv::CheckOptions;
+use pugpara::race::check_races;
+use pugpara::{BugKind, KernelUnit, RaceClass};
+use std::time::Duration;
+
+fn opts() -> CheckOptions {
+    CheckOptions::with_timeout(Duration::from_secs(120))
+}
+
+fn cfg_1d(bits: u32) -> GpuConfig {
+    GpuConfig {
+        bits,
+        bdim: [Extent::Sym, Extent::Const(1), Extent::Const(1)],
+        gdim: [Extent::Sym, Extent::Const(1)],
+    }
+}
+
+/// One access parsed back out of a schedule line.
+#[derive(Debug, PartialEq)]
+struct ParsedAccess {
+    bid: [u64; 2],
+    tid: [u64; 3],
+    is_write: bool,
+    array: String,
+    index: u64,
+}
+
+/// The whole schedule: configuration, scalar bindings, barrier-interval
+/// number and the two conflicting accesses.
+struct ParsedSchedule {
+    cfg: GpuConfig,
+    scalars: Vec<(String, u64)>,
+    bi: usize,
+    a1: ParsedAccess,
+    a2: ParsedAccess,
+}
+
+fn nums(s: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if c.is_ascii_digit() {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(cur.parse().unwrap());
+            cur.clear();
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur.parse().unwrap());
+    }
+    out
+}
+
+fn parse_access(s: &str) -> ParsedAccess {
+    // `block (0,0) thread (1,0,0) writes `out`[3]`
+    let is_write = s.contains(" writes ");
+    let array = s.split('`').nth(1).expect("array name in backticks").to_string();
+    let n = nums(s);
+    assert!(n.len() >= 6, "access line must carry 6 numbers: {s}");
+    ParsedAccess {
+        bid: [n[0], n[1]],
+        tid: [n[2], n[3], n[4]],
+        is_write,
+        array,
+        index: n[5],
+    }
+}
+
+fn parse_schedule(schedule: &str, bits: u32) -> ParsedSchedule {
+    let mut cfg = None;
+    let mut scalars = Vec::new();
+    let mut conflict = None;
+    for line in schedule.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("config: ") {
+            let n = nums(rest);
+            assert_eq!(n.len(), 5, "config line must carry 5 extents: {line}");
+            cfg = Some(GpuConfig {
+                bits,
+                bdim: [Extent::Const(n[0]), Extent::Const(n[1]), Extent::Const(n[2])],
+                gdim: [Extent::Const(n[3]), Extent::Const(n[4])],
+            });
+        } else if let Some(rest) = line.strip_prefix("scalar: ") {
+            let (name, v) = rest.split_once(" = ").expect("scalar binding");
+            scalars.push((name.to_string(), v.parse().unwrap()));
+        } else if let Some(rest) = line.strip_prefix("barrier interval #") {
+            let (bi, accesses) = rest.split_once(": ").expect("interval header");
+            let accesses =
+                accesses.strip_suffix(" with no intervening barrier").expect("schedule suffix");
+            let (first, second) = accesses.split_once(" and ").expect("two accesses");
+            conflict = Some((bi.parse().unwrap(), parse_access(first), parse_access(second)));
+        }
+    }
+    let (bi, a1, a2) = conflict.expect("schedule must name the conflicting pair");
+    ParsedSchedule { cfg: cfg.expect("schedule must pin the configuration"), scalars, bi, a1, a2 }
+}
+
+/// Independently replay a provable race's schedule and confirm the
+/// conflicting pair really occurs.
+fn validate_schedule(label: &str, unit: &KernelUnit, schedule: &str, bits: u32) {
+    let p = parse_schedule(schedule, bits);
+    assert!(
+        p.a1.is_write || p.a2.is_write,
+        "{label}: a race needs at least one write:\n{schedule}"
+    );
+    assert!(
+        p.a1.tid != p.a2.tid || p.a1.bid != p.a2.bid,
+        "{label}: the conflicting accesses must come from distinct threads:\n{schedule}"
+    );
+    assert_eq!(p.a1.array, p.a2.array, "{label}: conflicting accesses on different arrays");
+    assert_eq!(p.a1.index, p.a2.index, "{label}: conflicting accesses at different indices");
+
+    let mut inputs = ConcreteInputs::default();
+    for (name, v) in &p.scalars {
+        inputs.scalars.insert(name.clone(), *v);
+    }
+    let (_, log) = pug_ir::run_concrete_logged(&unit.kernel, &unit.types, &p.cfg, &inputs)
+        .unwrap_or_else(|e| panic!("{label}: a provable schedule must replay, got: {e}"));
+    for want in [&p.a1, &p.a2] {
+        assert!(
+            log.iter().any(|a| {
+                a.array == want.array
+                    && a.index == want.index
+                    && a.tid == want.tid
+                    && a.bid == want.bid
+                    && a.is_write == want.is_write
+                    && a.bi == p.bi
+            }),
+            "{label}: replay does not exhibit {want:?} in interval {}:\n{schedule}",
+            p.bi
+        );
+    }
+}
+
+/// Racy kernels whose schedules must be provable and replay-confirmed.
+fn provable_corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("same-cell write", "void k(int *out) { out[0] = tid.x; }"),
+        ("cross-block alias", "void k(int *out, int *in) { out[tid.x] = in[tid.x]; }"),
+        ("read-write overlap", "void k(int *d) { d[tid.x] = d[tid.x + 1]; }"),
+        (
+            "unguarded reduction",
+            r#"
+void k(int *g_odata, int *g_idata) {
+    requires(blockDim.x <= 16 && blockDim.y == 1 && blockDim.z == 1);
+    __shared__ int sdata[blockDim.x];
+    sdata[tid.x] = g_idata[tid.x];
+    __syncthreads();
+    sdata[tid.x] += sdata[tid.x + 1];
+    if (tid.x == 0) g_odata[bid.x] = sdata[0];
+}
+"#,
+        ),
+    ]
+}
+
+#[test]
+fn corpus_provable_races_replay() {
+    for (label, src) in provable_corpus() {
+        let unit = KernelUnit::load(src).unwrap();
+        let report = check_races(&unit, &cfg_1d(8), &opts()).unwrap();
+        let bug = report.verdict.bug().unwrap_or_else(|| panic!("{label}: expected a race"));
+        assert_eq!(bug.kind, BugKind::DataRace, "{label}");
+        match bug.race.as_ref().unwrap_or_else(|| panic!("{label}: race must be classified")) {
+            RaceClass::Provable { schedule } => validate_schedule(label, &unit, schedule, 8),
+            RaceClass::Potential { blocked } => {
+                panic!("{label}: expected a provable race, classifier blocked on: {blocked}")
+            }
+        }
+        assert!(
+            bug.render().contains("classification: provable"),
+            "{label}: rendered report must carry the classification"
+        );
+    }
+}
+
+/// Fuzzed kernels under a symbolic grid: whatever races surface must be
+/// classified, and every provable one must replay.
+#[test]
+fn fuzzed_races_are_classified_and_provable_ones_replay() {
+    let mut seen_bug = 0;
+    let mut seen_provable = 0;
+    for seed in 0..15u64 {
+        let src = KernelGen::basic(seed * 29 + 3).kernel();
+        let unit = KernelUnit::load(&src).unwrap();
+        let report = check_races(&unit, &cfg_1d(8), &opts()).unwrap();
+        let Some(bug) = report.verdict.bug() else { continue };
+        seen_bug += 1;
+        let race =
+            bug.race.as_ref().unwrap_or_else(|| panic!("seed {seed}: race unclassified\n{src}"));
+        if let RaceClass::Provable { schedule } = race {
+            seen_provable += 1;
+            validate_schedule(&format!("seed {seed}"), &unit, schedule, 8);
+        }
+    }
+    assert!(seen_bug >= 1, "the fuzzed grid should surface at least one race");
+    assert!(seen_provable >= 1, "at least one fuzzed race should be provable");
+}
+
+/// The seeded potential-race kernel: the racy write is in a barrier loop
+/// bounded by the scalar parameter `p`, which the interpreter cannot
+/// unroll — the race must be found, classified, and *never* provable.
+#[test]
+fn param_bounded_barrier_loop_is_potential() {
+    let unit = KernelUnit::load(pug_kernels::stride::PARAM_RACE).unwrap();
+    let report = check_races(&unit, &cfg_1d(8), &opts()).unwrap();
+    let bug = report.verdict.bug().expect("every thread writes out[i]: a race");
+    assert_eq!(bug.kind, BugKind::DataRace);
+    match bug.race.as_ref().expect("race must be classified") {
+        RaceClass::Potential { blocked } => {
+            assert!(
+                blocked.contains("replay blocked"),
+                "the block reason must name the replay failure, got: {blocked}"
+            );
+        }
+        RaceClass::Provable { schedule } => {
+            panic!("a parameter-bounded barrier loop cannot replay, yet got schedule:\n{schedule}")
+        }
+    }
+    assert!(
+        bug.render().contains("classification: potential"),
+        "rendered report must carry the classification"
+    );
+}
